@@ -1,0 +1,15 @@
+"""Benchmark configuration: each paper artifact is regenerated once per
+benchmark round (the work is deterministic, so one round suffices)."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,25 @@
+"""Benches E-abl-*: rescheduling and f-variant ablations."""
+
+from repro.experiments import ablations
+
+
+def test_bench_reschedule(once):
+    report = once(ablations.run_reschedule)
+    print()
+    print(report.render())
+    children = float(report.cell(0, "bubble"))
+    fifo = float(report.cell(1, "bubble"))
+    assert children <= fifo  # Section 4.3's optimization never hurts
+    assert report.cell(0, "peak act (A)") == report.cell(1, "peak act (A)")
+
+
+def test_bench_variant_sweep(once):
+    report = once(ablations.run_variant_sweep)
+    print()
+    print(report.render())
+    mems = [float(r[2]) for r in report.rows]
+    assert mems == sorted(mems, reverse=True)
+    # Endpoints: halving f halves the memory (Figure 5(a) vs 5(c)).
+    assert abs(mems[-1] / mems[0] - 0.5) < 0.1
+    bubbles = [float(r[1]) for r in report.rows]
+    assert bubbles[-1] > bubbles[0]

@@ -1,0 +1,32 @@
+"""Benches for the Section 5 partitioning and Section 9 estimates."""
+
+from repro.experiments import partitioning, section9
+
+
+def test_bench_partitioning(once):
+    report = once(partitioning.run)
+    print()
+    print(report.render())
+    gains = [float(c.rstrip("%")) for c in report.column("balanced gain")]
+    # Uniform is competitive at 4k; DP-balancing pays at long contexts.
+    assert gains[0] < 1.0
+    assert gains[-1] > 10.0
+    assert gains == sorted(gains)
+
+
+def test_bench_section9_reliability(once):
+    report = once(section9.run_reliability)
+    print()
+    print(report.render())
+    overheads = [float(c.rstrip("%")) for c in report.column("overhead")]
+    assert overheads[1] < 5.0  # the paper's <5% with in-memory ckpt
+    assert overheads == sorted(overheads, reverse=True)
+
+
+def test_bench_section9_tco(once):
+    report = once(section9.run_tco)
+    print()
+    print(report.render())
+    parity = [float(c.split()[0]) for c in report.column("parity")]
+    assert 20 < parity[1] < 30  # ~24 years at $0.1/kWh
+    assert parity == sorted(parity, reverse=True)

@@ -1,0 +1,22 @@
+"""Bench E-fig1: regenerate Figure 1 and check its headline claims."""
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(once):
+    points = once(fig1.compute_points)
+    by_label = {p.label: p for p in points}
+    dapple = by_label["DAPPLE"]
+    s4, s8 = by_label["SVPP s=4"], by_label["SVPP s=8"]
+    # Section 1: >70% / >80% activation-memory reduction.
+    assert 1 - s4.activation_gb / dapple.activation_gb > 0.70
+    assert 1 - s8.activation_gb / dapple.activation_gb > 0.80
+    # SVPP dominates the plane: the least memory of all series, and
+    # both slice counts sit below every baseline's bubble ratio.
+    for p in points:
+        assert s8.activation_gb <= p.activation_gb + 1e-9
+        if not p.label.startswith("SVPP"):
+            assert s4.bubble_ratio < p.bubble_ratio
+            assert s8.bubble_ratio < p.bubble_ratio
+    print()
+    print(fig1.run().render())

@@ -1,0 +1,33 @@
+"""Bench E-fig10/E-tab8: model-size sweep at GBS 128."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(once):
+    report = once(fig10.run)
+    print()
+    print(report.render())
+
+    rows = {(r[0], r[1]): r for r in report.rows}
+    # 34B: only DAPPLE (with recomputation) and MEPipe survive; VPP,
+    # ZB, and ZBV exceed 24 GB statics at their max pipeline depth
+    # (Section 7.4 / Table 8).
+    assert rows[("llama-34b", "vpp")][3] == "OOM"
+    assert rows[("llama-34b", "zb")][3] == "OOM"
+    assert rows[("llama-34b", "zbv")][3] == "OOM"
+    dapple_34b = rows[("llama-34b", "dapple")]
+    assert "yes" in dapple_34b[2]  # needs recomputation
+    assert dapple_34b[2].startswith("(16")
+    mepipe_34b = rows[("llama-34b", "mepipe")]
+    assert mepipe_34b[2] == "(16, 16, 1, no)"  # the s=16 variant
+    t_dapple = float(dapple_34b[3].split()[0])
+    t_mepipe = float(mepipe_34b[3].split()[0])
+    assert t_mepipe < t_dapple
+
+    # MEPipe wins at every model size.
+    for model in ("llama-7b", "llama-13b", "llama-34b"):
+        mepipe = float(rows[(model, "mepipe")][3].split()[0])
+        for method in ("dapple", "vpp", "zb", "zbv"):
+            cell = rows[(model, method)][3]
+            if cell != "OOM":
+                assert mepipe < float(cell.split()[0]), (model, method)

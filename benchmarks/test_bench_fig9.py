@@ -1,0 +1,21 @@
+"""Bench E-fig9: transformer-layer performance vs CP/SPP size (claim C2)."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(once):
+    perf = once(fig9.compute)
+    by_key = {(p.kind, p.size): p for p in perf}
+    # SPP=8 costs ~12.6% (Section 7.3).
+    spp8 = by_key[("spp", 8)].relative_throughput
+    assert 0.85 < spp8 < 0.92
+    # Claim C2: SPP beats CP at every partitioning size > 1.
+    for size in (2, 4, 8):
+        assert (by_key[("spp", size)].relative_throughput
+                > by_key[("cp", size)].relative_throughput)
+    # Both degrade monotonically with size.
+    for kind in ("cp", "spp"):
+        series = [by_key[(kind, s)].relative_throughput for s in (1, 2, 4, 8)]
+        assert series == sorted(series, reverse=True)
+    print()
+    print(fig9.run().render())

@@ -1,0 +1,29 @@
+"""Bench E-fig11/12: fine-grained weight-gradient computation."""
+
+from repro.experiments import fig1112
+
+
+def test_bench_fig1112(once):
+    ablation = once(fig1112.compute)
+    # At the paper's 4k config our simulator shows parity-or-better;
+    # never a regression beyond noise.
+    assert ablation.improvement > -0.02
+    print()
+    print(fig1112.run().render())
+
+
+def test_bench_fig1112_long_context(once):
+    """Where slice imbalance is large the technique pays clearly."""
+    ablation = once(fig1112.compute_long_context)
+    assert ablation.improvement > 0.04
+    # The gain comes from filling bubbles, not skipping work: both
+    # variants execute the same ops.
+    assert (len(ablation.with_fine_grained.records)
+            == len(ablation.without_fine_grained.records))
+
+
+def test_bench_fig1112_timelines(once):
+    art = once(fig1112.render_timelines)
+    assert "Figure 11" in art and "Figure 12" in art
+    print()
+    print(art)

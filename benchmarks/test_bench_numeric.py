@@ -1,0 +1,11 @@
+"""Bench E-E0: functionality — pipelined gradients equal sequential."""
+
+from repro.experiments import e0
+
+
+def test_bench_e0(once):
+    report = once(e0.run)
+    print()
+    print(report.render())
+    statuses = report.column("status")
+    assert statuses and all(s == "PASS" for s in statuses)

@@ -1,0 +1,35 @@
+"""Scheduler micro-benchmarks: generation and simulation throughput.
+
+These are genuine performance benchmarks (multiple rounds): the greedy
+generator and the executor must stay fast enough for the grid searches
+that back Figures 8 and 10.
+"""
+
+from repro.schedules import build_problem, build_schedule
+from repro.sim import UniformCost, simulate
+
+
+def test_bench_generate_mepipe_large(benchmark):
+    problem = build_problem("mepipe", 8, 64, num_slices=4, wgrad_gemms=2)
+    schedule = benchmark(lambda: build_schedule("mepipe", problem))
+    assert schedule.op_count() == len(problem.all_ops())
+
+
+def test_bench_generate_svpp_34b_shape(benchmark):
+    problem = build_problem("svpp", 16, 32, num_slices=16)
+    schedule = benchmark(lambda: build_schedule("svpp", problem))
+    assert schedule.op_count() == len(problem.all_ops())
+
+
+def test_bench_simulate_large(benchmark):
+    problem = build_problem("mepipe", 8, 64, num_slices=4, wgrad_gemms=2)
+    schedule = build_schedule("mepipe", problem)
+    cost = UniformCost(problem, tw=1.0)
+    result = benchmark(lambda: simulate(schedule, cost))
+    assert result.makespan > 0
+
+
+def test_bench_generate_dapple(benchmark):
+    problem = build_problem("dapple", 8, 64)
+    schedule = benchmark(lambda: build_schedule("dapple", problem))
+    assert schedule.op_count() == 2 * 8 * 64

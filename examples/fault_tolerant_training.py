@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fault-tolerant pipelined training (the Section 9 reliability story).
+
+Trains a mini-Llama under the MEPipe schedule while a fault injector
+kills the job twice; in-memory checkpoints (GEMINI-style) bring it back,
+and the final model is bit-identical to an uninterrupted run.  Also
+prints the cluster-scale failure-cost estimates behind the paper's
+"less than 5%" claim.
+
+Run:  python examples/fault_tolerant_training.py
+"""
+
+import numpy as np
+
+from repro.data import token_batches
+from repro.model import tiny_spec
+from repro.nn import Adam, build_model
+from repro.pipeline import PipelineRuntime
+from repro.reliability import (
+    FaultInjector,
+    TrainingDriver,
+    rtx4090_thousand_gpu_model,
+)
+from repro.schedules import build_problem, build_schedule
+
+STEPS = 12
+
+
+def main() -> None:
+    spec = tiny_spec(hidden_size=32, num_layers=6, num_heads=4,
+                     ffn_hidden_size=64, vocab_size=53, seq_length=16)
+    tokens, targets = token_batches(spec.vocab_size, 4, 2, spec.seq_length,
+                                    seed=1)
+    problem = build_problem("mepipe", 4, 4, num_slices=2, wgrad_gemms=2)
+    schedule = build_schedule("mepipe", problem)
+
+    def make_driver(injector=None):
+        model = build_model(spec, seed=9)
+        runtime = PipelineRuntime(model, tokens, targets)
+        driver = TrainingDriver(model, Adam(model, lr=2e-3),
+                                checkpoint_interval=3, injector=injector)
+        return model, driver, lambda m: runtime.run(schedule).loss
+
+    print(f"training {STEPS} steps with failures injected at steps 4 and 9")
+    model_f, faulty, step_f = make_driver(FaultInjector(fail_at_steps={4, 9}))
+    losses_f = faulty.run(step_f, STEPS)
+    print(f"  recoveries: {faulty.recoveries}, final loss {losses_f[-1]:.4f}")
+
+    model_c, clean, step_c = make_driver()
+    losses_c = clean.run(step_c, STEPS)
+    delta = max(float(np.abs(p - model_c.named_params()[k]).max())
+                for k, p in model_f.named_params().items())
+    print(f"  clean-run final loss {losses_c[-1]:.4f}; "
+          f"max parameter delta vs faulty run: {delta:.2e}")
+
+    print("\ncluster-scale failure cost (1000x RTX 4090, OPT-logbook MTBF):")
+    model = rtx4090_thousand_gpu_model()
+    print(f"  cluster MTBF            : {model.cluster_mtbf_hours:.1f} h")
+    print(f"  optimal ckpt interval   : "
+          f"{model.optimal_checkpoint_interval() / 60:.1f} min")
+    print(f"  expected throughput loss: {model.overhead_fraction():.1%} "
+          f"(paper estimate: <5%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Fine-grained weight gradients under long-context slice imbalance.
+
+Section 5: with causal attention, later slices of a sample attend to
+more keys, so their forward/backward ops grow while weight-gradient
+GEMMs stay flat.  The longer the context, the larger the imbalance —
+and the more MEPipe gains by draining W GEMMs into the gaps.  This
+example sweeps the context length for Llama 13B and reports the
+iteration-time improvement from dynamic W scheduling at each point.
+
+Run:  python examples/long_context_finegrained.py
+"""
+
+from dataclasses import replace
+
+from repro import LLAMA_13B, RTX4090_CLUSTER, ParallelConfig
+from repro.experiments.fig1112 import compute
+from repro.model import attention_score_share
+
+
+def main() -> None:
+    print(f"{'context':>8s} {'attn share':>11s} {'w/o fine W':>11s} "
+          f"{'with fine W':>12s} {'gain':>7s}")
+    for seq in (4096, 8192, 16384, 32768):
+        spec = replace(LLAMA_13B, seq_length=seq)
+        slices = max(4, seq // 2048)
+        config = ParallelConfig(dp=8, pp=8, spp=slices)
+        ablation = compute(spec, RTX4090_CLUSTER, config=config, gbs=64,
+                           wgrad_gemms=4)
+        share = attention_score_share(spec)
+        t_without = ablation.without_fine_grained.iteration_time * 1e3
+        t_with = ablation.with_fine_grained.iteration_time * 1e3
+        print(f"{seq:8d} {share:11.1%} {t_without:9.0f}ms {t_with:10.0f}ms "
+              f"{ablation.improvement:7.1%}")
+    print()
+    print("the technique's benefit tracks the attention-score share — the")
+    print("source of the slice imbalance it absorbs (paper Section 5).")
+
+
+if __name__ == "__main__":
+    main()

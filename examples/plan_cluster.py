@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Plan the training of a Llama model on a budget cluster.
+
+The Section 4.5 / 7.3 workflow as a tool: given a model, a cluster,
+and a global batch size, grid-search each scheduling method's strategy
+space, report the winner, and show the memory breakdown that explains
+which configurations OOM.
+
+Run:  python examples/plan_cluster.py [13b] [64]
+"""
+
+import sys
+
+from repro.hardware import RTX4090_CLUSTER
+from repro.model import GiB, budget_for, get_model
+from repro.planner import search_method
+
+METHODS = ["dapple", "vpp", "zb", "zbv", "mepipe"]
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "13b"
+    gbs = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    spec = get_model(model_name)
+    cluster = RTX4090_CLUSTER
+    print(f"planning {spec.name} at GBS {gbs} on {cluster.num_devices}x "
+          f"{cluster.gpu.name} ({cluster.gpu.memory_bytes // GiB} GB each)\n")
+
+    print(f"{'method':9s} {'best config':36s} {'iteration':>11s} "
+          f"{'bubble':>7s} {'memory':>10s}")
+    winners = {}
+    for method in METHODS:
+        result = search_method(method, spec, cluster, gbs)
+        if result.best is None:
+            print(f"{method:9s} every configuration OOMs "
+                  f"({len(result.evaluated)} tried)")
+            continue
+        best = result.best
+        winners[method] = best
+        print(f"{method:9s} {best.config.describe():36s} "
+              f"{best.iteration_time_s * 1e3:9.1f}ms {best.bubble_ratio:7.1%} "
+              f"{best.peak_memory_gib:7.1f}GiB")
+
+    if "mepipe" in winners and len(winners) > 1:
+        best_baseline = min(
+            (r.iteration_time_s, m) for m, r in winners.items() if m != "mepipe")
+        speedup = best_baseline[0] / winners["mepipe"].iteration_time_s
+        print(f"\nMEPipe speedup over {best_baseline[1]}: {speedup:.2f}x")
+
+    # Memory breakdown for the MEPipe winner (the Section 4.5 model).
+    if "mepipe" in winners:
+        cfg = winners["mepipe"].config
+        budget = budget_for(
+            spec,
+            capacity_bytes=cluster.gpu.memory_bytes,
+            pipeline_stages=cfg.pp,
+            total_devices=cluster.num_devices,
+            micro_batch_tokens=spec.seq_length // cfg.spp,
+        )
+        print("\nmemory breakdown per device (MEPipe winner):")
+        print(f"  static (params+grads+ZeRO optimizer): "
+              f"{budget.static / GiB:6.2f} GiB")
+        print(f"  temporary buffers                   : "
+              f"{budget.temporary / GiB:6.2f} GiB")
+        print(f"  allocator reserve + framework       : "
+              f"{(budget.allocator_reserve + budget.framework_overhead) / GiB:6.2f} GiB")
+        print(f"  left for activations                : "
+              f"{budget.available_for_activations / GiB:6.2f} GiB")
+        print(f"  activations used by the schedule    : "
+              f"{winners['mepipe'].activation_bytes / GiB:6.2f} GiB "
+              f"(f={winners['mepipe'].forwards_before_first_backward or 'max'})")
+
+
+if __name__ == "__main__":
+    main()

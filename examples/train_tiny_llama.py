@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Train a miniature Llama with MEPipe scheduling, numerically.
+
+This is the artifact's "functionality" story (E0) as a runnable demo:
+a 4-stage pipeline executes the full MEPipe schedule — slice-level
+1F1B with deferred, fine-grained weight-gradient GEMMs — on a real
+(NumPy) transformer, and the loss trajectory is bit-identical to
+sequential single-process training.
+
+Run:  python examples/train_tiny_llama.py
+"""
+
+import numpy as np
+
+from repro.data import token_batches
+from repro.model import tiny_spec
+from repro.nn import Adam, build_model, sequential_step
+from repro.pipeline import PipelineRuntime
+from repro.schedules import build_problem, build_schedule
+
+STEPS = 10
+STAGES = 4
+MICROBATCHES = 4
+
+
+def main() -> None:
+    spec = tiny_spec(hidden_size=48, num_layers=6, num_heads=4,
+                     ffn_hidden_size=96, vocab_size=101, seq_length=24)
+    tokens, targets = token_batches(
+        spec.vocab_size, MICROBATCHES, batch_size=2,
+        seq_length=spec.seq_length, seed=3)
+
+    problem = build_problem(
+        "mepipe", STAGES, MICROBATCHES, num_slices=4, wgrad_gemms=3)
+    schedule = build_schedule("mepipe", problem)
+    print(f"schedule: {schedule.name}, {schedule.op_count()} ops over "
+          f"{STAGES} stages ({problem.num_slices} slices/sample, "
+          f"{problem.wgrad_gemms} W-GEMM groups)")
+
+    pipelined = build_model(spec, seed=42)
+    runtime = PipelineRuntime(pipelined, tokens, targets)
+    optimizer = Adam(pipelined, lr=3e-3)
+
+    reference = build_model(spec, seed=42)
+    ref_optimizer = Adam(reference, lr=3e-3)
+
+    print(f"{'step':>4s} {'pipelined loss':>15s} {'sequential loss':>16s} "
+          f"{'max param delta':>16s}")
+    for step in range(STEPS):
+        result = runtime.run(schedule)
+        optimizer.step()
+        ref_loss = sequential_step(reference, tokens, targets)
+        ref_optimizer.step()
+        delta = max(
+            float(np.abs(p - reference.named_params()[k]).max())
+            for k, p in pipelined.named_params().items()
+        )
+        print(f"{step:4d} {result.loss:15.6f} {ref_loss:16.6f} {delta:16.2e}")
+
+    print()
+    stats = runtime.run(schedule).stage_stats
+    print("peak live slice-contexts per stage:",
+          [s.peak_live_contexts for s in stats])
+    print("(TeraPipe would pin", MICROBATCHES * problem.num_slices * 2,
+          "contexts on every stage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""MEPipe reproduction library.
+
+A from-scratch reproduction of *MEPipe: Democratizing LLM Training with
+Memory-Efficient Slice-Level Pipeline Scheduling on Cost-Effective
+Accelerators* (EuroSys '25): slice-level pipeline schedules (SVPP),
+fine-grained weight-gradient computation, the baselines the paper
+compares against, a discrete-event cluster simulator to regenerate every
+table/figure, and a NumPy training substrate that executes the schedules
+numerically.
+
+Quickstart::
+
+    from repro import LLAMA_13B, ParallelConfig, RTX4090_CLUSTER
+    from repro.planner import evaluate_config
+
+    cfg = ParallelConfig(dp=2, pp=8, spp=4)
+    result = evaluate_config("mepipe", LLAMA_13B, RTX4090_CLUSTER, cfg,
+                             global_batch_size=128)
+    print(result.iteration_time_s, result.bubble_ratio)
+"""
+
+from repro.hardware import (
+    A100_80GB,
+    A100_CLUSTER,
+    RTX4090_CLUSTER,
+    RTX_4090,
+    ClusterSpec,
+    GPUSpec,
+)
+from repro.model import (
+    LLAMA_7B,
+    LLAMA_13B,
+    LLAMA_34B,
+    ModelSpec,
+    get_model,
+    tiny_spec,
+)
+from repro.parallel import ParallelConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_80GB",
+    "A100_CLUSTER",
+    "LLAMA_13B",
+    "LLAMA_34B",
+    "LLAMA_7B",
+    "RTX4090_CLUSTER",
+    "RTX_4090",
+    "ClusterSpec",
+    "GPUSpec",
+    "ModelSpec",
+    "ParallelConfig",
+    "__version__",
+    "get_model",
+    "tiny_spec",
+]

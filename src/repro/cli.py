@@ -1,0 +1,128 @@
+"""Command-line interface: ``mepipe <command>`` / ``python -m repro``.
+
+Commands:
+
+* ``experiment <id>`` — regenerate one paper artifact (``list`` to see
+  ids) and print it.
+* ``schedule <method>`` — generate a schedule and print its ASCII
+  timeline (Figures 2-7 style).
+* ``plan <model> <gbs>`` — grid-search every method and print the
+  winners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY
+
+    if args.id == "list":
+        for key in REGISTRY:
+            print(key)
+        return 0
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; try: {', '.join(REGISTRY)}")
+        return 2
+    print(REGISTRY[args.id]().render())
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.schedules import build_problem, build_schedule
+    from repro.sim import UniformCost, simulate
+    from repro.viz import render_memory_profile, render_timeline, write_chrome_trace
+
+    problem = build_problem(
+        args.method,
+        args.stages,
+        args.microbatches,
+        num_slices=args.slices,
+        virtual_size=args.virtual,
+        wgrad_gemms=args.wgrad_gemms,
+    )
+    schedule = build_schedule(
+        args.method, problem, forwards_before_first_backward=args.forwards
+    )
+    result = simulate(schedule, UniformCost(problem, tw=args.tw))
+    print(render_timeline(result, width=args.width))
+    if args.memory:
+        print()
+        print(render_memory_profile(result, stage=0, width=args.width))
+    if args.trace:
+        path = write_chrome_trace(result, args.trace)
+        print(f"\nchrome trace written to {path} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.hardware import get_cluster
+    from repro.model import get_model
+    from repro.planner import search_method
+
+    spec = get_model(args.model)
+    cluster = get_cluster(args.cluster)
+    for method in args.methods.split(","):
+        result = search_method(method, spec, cluster, args.gbs)
+        if result.best is None:
+            print(f"{method:9s} OOM in every configuration")
+        else:
+            print(f"{method:9s} {result.best.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="mepipe", description="MEPipe reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("id", help="experiment id, or 'list'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sched = sub.add_parser("schedule", help="render a schedule timeline")
+    p_sched.add_argument("method")
+    p_sched.add_argument("--stages", type=int, default=4)
+    p_sched.add_argument("--microbatches", type=int, default=4)
+    p_sched.add_argument("--slices", type=int, default=1)
+    p_sched.add_argument("--virtual", type=int, default=1)
+    p_sched.add_argument("--forwards", type=int, default=None,
+                         help="f variant (SVPP/MEPipe)")
+    p_sched.add_argument("--wgrad-gemms", type=int, default=1)
+    p_sched.add_argument("--tw", type=float, default=1.0,
+                         help="weight-gradient time (split methods)")
+    p_sched.add_argument("--width", type=int, default=120)
+    p_sched.add_argument("--memory", action="store_true",
+                         help="also render stage 0's activation profile")
+    p_sched.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome/Perfetto trace JSON")
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_plan = sub.add_parser("plan", help="grid-search parallel strategies")
+    p_plan.add_argument("model", help="7b / 13b / 34b")
+    p_plan.add_argument("gbs", type=int)
+    p_plan.add_argument("--cluster", default="rtx4090-64")
+    p_plan.add_argument("--methods", default="dapple,vpp,zb,zbv,mepipe")
+    p_plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

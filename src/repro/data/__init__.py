@@ -1,0 +1,5 @@
+"""Synthetic data generation (OpenWebText stand-in)."""
+
+from repro.data.synthetic import token_batches
+
+__all__ = ["token_batches"]

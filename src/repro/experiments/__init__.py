@@ -1,0 +1,43 @@
+"""Experiment modules regenerating every table and figure of the paper."""
+
+from repro.experiments import (
+    ablations,
+    e0,
+    fig1,
+    fig8,
+    fig9,
+    fig10,
+    fig1112,
+    network,
+    partitioning,
+    scaling,
+    section9,
+    table9,
+    tables23,
+    tables67,
+)
+from repro.experiments.common import ExperimentReport
+
+#: CLI-facing registry: id -> zero-argument runner.
+REGISTRY = {
+    "e0": e0.run,
+    "fig1": fig1.run,
+    "table2": tables23.run_table2,
+    "table3": tables23.run_table3,
+    "fig8": fig8.run,
+    "table6": tables67.run_table6,
+    "table7": tables67.run_table7,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11-12": fig1112.run,
+    "table9": table9.run,
+    "abl-resched": ablations.run_reschedule,
+    "abl-variants": ablations.run_variant_sweep,
+    "abl-partition": partitioning.run,
+    "sec9-reliability": section9.run_reliability,
+    "sec9-tco": section9.run_tco,
+    "net-validate": network.run,
+    "scaling": scaling.run,
+}
+
+__all__ = ["ExperimentReport", "REGISTRY"]

@@ -1,0 +1,48 @@
+"""Ablations beyond the paper's own: backward rescheduling and the
+Figure 5 memory/bubble trade-off measured end to end."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport
+from repro.schedules.svpp import svpp_problem, svpp_schedule, svpp_variants
+from repro.sim.cost import UniformCost
+from repro.sim.executor import simulate
+
+
+def run_reschedule(p: int = 4, n: int = 8, s: int = 2, v: int = 2) -> ExperimentReport:
+    """Section 4.3's backward rescheduling: child-priority vs FIFO."""
+    report = ExperimentReport(
+        experiment_id="abl-resched",
+        title=f"Backward rescheduling (p={p}, n={n}, s={s}, v={v})",
+        header=["backward order", "bubble", "makespan", "peak act (A)"],
+    )
+    problem = svpp_problem(p, n, s, virtual_size=v)
+    cost = UniformCost(problem)
+    for label, optimize in [("children-priority (4.3)", True), ("fifo", False)]:
+        schedule = svpp_schedule(problem, optimize_backward_order=optimize)
+        result = simulate(schedule, cost)
+        report.add_row(
+            label,
+            f"{result.bubble_ratio:.3f}",
+            f"{result.makespan:.2f}",
+            f"{result.peak_activation_units:.4f}",
+        )
+    return report
+
+
+def run_variant_sweep(p: int = 4, n: int = 4, s: int = 2, v: int = 2) -> ExperimentReport:
+    """Figure 5: every f variant's bubble/memory point."""
+    report = ExperimentReport(
+        experiment_id="abl-variants",
+        title=f"SVPP f-variant sweep (p={p}, n={n}, s={s}, v={v})",
+        header=["f", "bubble", "peak act (A)"],
+    )
+    problem = svpp_problem(p, n, s, virtual_size=v)
+    cost = UniformCost(problem)
+    for f in svpp_variants(problem):
+        schedule = svpp_schedule(problem, forwards_before_first_backward=f)
+        result = simulate(schedule, cost)
+        report.add_row(f, f"{result.bubble_ratio:.3f}",
+                       f"{result.peak_activation_units:.4f}")
+    report.add_note("smaller f: less memory, more bubbles (Figure 5 trade-off)")
+    return report

@@ -1,0 +1,66 @@
+"""Artifact experiment E0: functionality validation.
+
+Runs a miniature model through every scheduling method on the NumPy
+pipeline runtime and checks loss and gradients against sequential
+execution — the reproduction of the artifact's single-node
+functionality test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import token_batches
+from repro.experiments.common import ExperimentReport
+from repro.model.spec import ModelSpec, tiny_spec
+from repro.nn import build_model, sequential_step
+from repro.pipeline import PipelineRuntime
+from repro.schedules.methods import build_problem, build_schedule
+
+METHOD_SETUPS = [
+    ("dapple", {}),
+    ("terapipe", {"num_slices": 4}),
+    ("vpp", {"virtual_size": 2}),
+    ("zb", {}),
+    ("zbv", {}),
+    ("svpp", {"num_slices": 4, "virtual_size": 2}),
+    ("mepipe", {"num_slices": 4, "wgrad_gemms": 3}),
+]
+
+
+def run(
+    spec: ModelSpec | None = None,
+    num_stages: int = 4,
+    num_microbatches: int = 4,
+    seed: int = 11,
+) -> ExperimentReport:
+    """Execute E0 and report max gradient deviation per method."""
+    spec = spec or tiny_spec(
+        hidden_size=32, num_layers=6, num_heads=4, ffn_hidden_size=64,
+        vocab_size=31, seq_length=16,
+    )
+    tokens, targets = token_batches(
+        spec.vocab_size, num_microbatches, 2, spec.seq_length, seed=5)
+    reference = build_model(spec, seed=seed)
+    ref_loss = sequential_step(reference, tokens, targets)
+    ref_grads = {k: v.copy() for k, v in reference.named_grads().items()}
+
+    report = ExperimentReport(
+        experiment_id="e0",
+        title="Functionality: pipelined vs sequential gradients",
+        header=["method", "loss delta", "max grad delta", "status"],
+    )
+    for method, kwargs in METHOD_SETUPS:
+        problem = build_problem(method, num_stages, num_microbatches, **kwargs)
+        schedule = build_schedule(method, problem)
+        model = build_model(spec, seed=seed)
+        result = PipelineRuntime(model, tokens, targets).run(schedule)
+        grad_delta = max(
+            float(np.abs(g - ref_grads[k]).max())
+            for k, g in model.named_grads().items()
+        )
+        loss_delta = abs(result.loss - ref_loss)
+        ok = loss_delta < 1e-10 and grad_delta < 1e-10
+        report.add_row(method, f"{loss_delta:.1e}", f"{grad_delta:.1e}",
+                       "PASS" if ok else "FAIL")
+    return report

@@ -1,0 +1,55 @@
+"""Figure 10 + Table 8: model-size sweep at global batch size 128.
+
+Grid-searches each method for Llama 7B/13B/34B on the RTX 4090 cluster.
+The 34B row exercises the paper's tightest memory regime: only PP=16
+fits the statics, ~5-7 GB remain for activations, and MEPipe's s=16
+variant (selected by the Section 4.5 memory model) is what makes the
+schedule fit without recomputation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, ms
+from repro.hardware.cluster import RTX4090_CLUSTER, ClusterSpec
+from repro.model.spec import LLAMA_7B, LLAMA_13B, LLAMA_34B, ModelSpec
+from repro.planner.search import search_method
+
+GBS = 128
+MODELS: list[ModelSpec] = [LLAMA_7B, LLAMA_13B, LLAMA_34B]
+METHODS = ["dapple", "vpp", "zb", "zbv", "mepipe"]
+
+
+def run(
+    cluster: ClusterSpec = RTX4090_CLUSTER,
+    models: list[ModelSpec] | None = None,
+    methods: list[str] | None = None,
+) -> ExperimentReport:
+    """Regenerate Figure 10 / Table 8."""
+    report = ExperimentReport(
+        experiment_id="fig10",
+        title=f"Iteration time by model size (GBS {GBS}, 64x RTX 4090)",
+        header=["model", "method", "config (PP, CP/SPP, VP, rc)", "iteration"],
+    )
+    for spec in models or MODELS:
+        times = {}
+        for method in methods or METHODS:
+            result = search_method(method, spec, cluster, GBS)
+            if result.best is None:
+                report.add_row(spec.name, method, "-", "OOM")
+                continue
+            from repro.experiments.fig8 import config_tuple
+
+            report.add_row(
+                spec.name,
+                method,
+                config_tuple(method, result.best.config),
+                ms(result.best.iteration_time_s) + " ms",
+            )
+            times[method] = result.best.iteration_time_s
+        if "mepipe" in times and len(times) > 1:
+            base = min(t for m, t in times.items() if m != "mepipe")
+            report.add_note(
+                f"{spec.name}: MEPipe speedup {base / times['mepipe']:.2f}x "
+                f"over best baseline"
+            )
+    return report

@@ -1,0 +1,129 @@
+"""Figures 11-12 + Section 7.5: fine-grained weight-gradient ablation.
+
+Runs the paper's configuration (Llama 13B, GBS 64, the Table 5 MEPipe
+strategy (PP=8, SPP=4)) with and without dynamic weight-gradient
+scheduling, renders both timelines, and reports the improvement
+(paper: 9.4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentReport, ms
+from repro.hardware.cluster import RTX4090_CLUSTER, ClusterSpec
+from repro.model.spec import LLAMA_13B, ModelSpec
+from repro.parallel.strategies import ParallelConfig
+from repro.schedules.svpp import mepipe_problem, mepipe_schedule
+from repro.sim.cost import ClusterCost
+from repro.sim.executor import SimResult, simulate
+from repro.viz.timeline import render_timeline
+
+GBS = 64
+CONFIG = ParallelConfig(dp=8, pp=8, spp=4)
+
+
+@dataclass
+class Ablation:
+    """Simulated iteration with and without fine-grained W scheduling."""
+
+    with_fine_grained: SimResult
+    without_fine_grained: SimResult
+
+    @property
+    def improvement(self) -> float:
+        """Relative iteration-time reduction from the technique."""
+        t_with = self.with_fine_grained.iteration_time
+        t_without = self.without_fine_grained.iteration_time
+        return 1.0 - t_with / t_without
+
+
+def compute(
+    spec: ModelSpec = LLAMA_13B,
+    cluster: ClusterSpec = RTX4090_CLUSTER,
+    config: ParallelConfig = CONFIG,
+    gbs: int = GBS,
+    wgrad_gemms: int = 4,
+) -> Ablation:
+    """Simulate both variants under the calibrated cost model."""
+    n = config.micro_batches(gbs)
+    problem = mepipe_problem(
+        config.pp, n, config.spp, virtual_size=config.vp, wgrad_gemms=wgrad_gemms
+    )
+    cost = ClusterCost(spec=spec, config=config, cluster=cluster, problem=problem)
+    overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
+    results = {}
+    for fine in (True, False):
+        schedule = mepipe_schedule(problem, cost=cost, fine_grained_wgrad=fine)
+        results[fine] = simulate(schedule, cost, overhead_time=overhead)
+    return Ablation(with_fine_grained=results[True],
+                    without_fine_grained=results[False])
+
+
+def compute_long_context(
+    spec: ModelSpec = LLAMA_13B,
+    cluster: ClusterSpec = RTX4090_CLUSTER,
+    seq_length: int = 16384,
+) -> Ablation:
+    """Same ablation at long context, where the attention-score share —
+    and therefore the slice imbalance the technique absorbs — is large
+    (Section 5's imbalance discussion)."""
+    from dataclasses import replace
+
+    long_spec = replace(spec, seq_length=seq_length)
+    config = ParallelConfig(dp=8, pp=8, spp=8)
+    return compute(long_spec, cluster, config=config, gbs=GBS)
+
+
+def run(
+    spec: ModelSpec = LLAMA_13B, cluster: ClusterSpec = RTX4090_CLUSTER
+) -> ExperimentReport:
+    """Regenerate the Section 7.5 comparison and both timelines."""
+    report = ExperimentReport(
+        experiment_id="fig11-12",
+        title="Fine-grained weight-gradient computation (13B, GBS 64)",
+        header=["context", "variant", "iteration", "bubble", "peak act (A)"],
+    )
+    for ctx, ablation in [
+        ("4096", compute(spec, cluster)),
+        ("16384", compute_long_context(spec, cluster)),
+    ]:
+        for label, result in [
+            ("w/o fine-grained W (Fig 11)", ablation.without_fine_grained),
+            ("with fine-grained W (Fig 12)", ablation.with_fine_grained),
+        ]:
+            report.add_row(
+                ctx,
+                label,
+                ms(result.iteration_time) + " ms",
+                f"{result.bubble_ratio:.1%}",
+                f"{result.peak_activation_units:.3f}",
+            )
+        report.add_note(
+            f"ctx {ctx}: fine-grained W improves iteration time by "
+            f"{ablation.improvement:.1%} (paper @4096: 9.4%)"
+        )
+    report.add_note(
+        "deviation: at ctx 4096 our simulator leaves fewer mid-iteration "
+        "gaps than the real PCIe cluster, so the technique's gain "
+        "concentrates in the imbalanced long-context regime"
+    )
+    return report
+
+
+def render_timelines(
+    spec: ModelSpec = LLAMA_13B,
+    cluster: ClusterSpec = RTX4090_CLUSTER,
+    width: int = 140,
+) -> str:
+    """ASCII versions of Figures 11 and 12."""
+    ablation = compute(spec, cluster)
+    return "\n".join(
+        [
+            "-- Figure 11: W computed immediately after B --",
+            render_timeline(ablation.without_fine_grained, width),
+            "",
+            "-- Figure 12: fine-grained dynamic W scheduling --",
+            render_timeline(ablation.with_fine_grained, width),
+        ]
+    )

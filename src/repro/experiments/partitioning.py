@@ -1,0 +1,83 @@
+"""Ablation: uniform slices + fine-grained W vs TeraPipe's DP slices.
+
+Section 5's closing argument: below very long contexts, uniform
+power-of-two slices plus dynamic weight-gradient filling beat
+non-uniform DP-balanced slices (which pay irregular kernel shapes);
+only when attention dominates (>128k tokens) does non-uniform
+partitioning become the better tool.  This experiment measures both
+ends: the per-slice bottleneck crossover and the pipeline-level
+absorption of imbalance by fine-grained W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import ExperimentReport
+from repro.model.spec import LLAMA_7B, ModelSpec
+from repro.schedules.partition import (
+    compare_plans,
+    slice_forward_seconds,
+    uniform_plan,
+)
+from repro.schedules.svpp import mepipe_problem, mepipe_schedule
+from repro.sim.cost import UniformCost
+from repro.sim.executor import simulate
+
+CONTEXTS = [4096, 16384, 65536, 131072]
+SLICES = 8
+PENALTY = 1.25
+
+
+def imbalance_weights(spec: ModelSpec, num_slices: int) -> tuple[float, ...]:
+    """Relative forward times of uniform slices (attention imbalance)."""
+    plan = uniform_plan(spec.seq_length, num_slices)
+    return tuple(
+        slice_forward_seconds(spec, plan.slice_tokens(i), plan.slice_offset(i))
+        for i in range(num_slices)
+    )
+
+
+def pipeline_absorption(spec: ModelSpec, num_slices: int = SLICES) -> float:
+    """Fraction of the imbalance cost fine-grained W absorbs.
+
+    Simulates MEPipe (p=4, n=8) with the context's true slice-time
+    imbalance, with and without dynamic W filling; returns the
+    improvement the technique delivers at this context length.
+    """
+    problem = mepipe_problem(4, 8, num_slices, wgrad_gemms=4)
+    weights = imbalance_weights(spec, num_slices)
+    cost = UniformCost(problem, tf=1.0, tb=2.0, tw=1.0, imbalance=weights)
+    fine = simulate(mepipe_schedule(problem, cost=cost), cost)
+    imm = simulate(
+        mepipe_schedule(problem, cost=cost, fine_grained_wgrad=False), cost)
+    return 1.0 - fine.makespan / imm.makespan
+
+
+def run(spec: ModelSpec = LLAMA_7B) -> ExperimentReport:
+    """Regenerate the Section 5 partitioning argument as a table."""
+    report = ExperimentReport(
+        experiment_id="abl-partition",
+        title="Uniform vs DP-balanced slice partitioning (7B geometry)",
+        header=["context", "uniform bottleneck", "balanced bottleneck",
+                "balanced gain", "fine-grained W gain"],
+    )
+    for ctx in CONTEXTS:
+        ctx_spec = replace(spec, seq_length=ctx)
+        comparison = compare_plans(
+            ctx_spec, SLICES, granularity=ctx // 64, irregular_penalty=PENALTY)
+        gain = 1.0 - comparison.balanced_bottleneck / comparison.uniform_bottleneck
+        absorb = pipeline_absorption(ctx_spec)
+        report.add_row(
+            ctx,
+            f"{comparison.uniform_bottleneck * 1e3:.2f} ms",
+            f"{comparison.balanced_bottleneck * 1e3:.2f} ms",
+            f"{gain:.1%}",
+            f"{absorb:.1%}",
+        )
+    report.add_note(
+        "short contexts: uniform slices lose nothing and fine-grained W "
+        "absorbs the residual imbalance; very long contexts: DP-balanced "
+        "partitioning becomes worthwhile (Section 5)"
+    )
+    return report

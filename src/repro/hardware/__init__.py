@@ -1,0 +1,61 @@
+"""Hardware specifications, efficiency curves, and communication models."""
+
+from repro.hardware.cluster import (
+    A100_CLUSTER,
+    CLUSTERS,
+    RTX4090_CLUSTER,
+    ClusterSpec,
+    get_cluster,
+)
+from repro.hardware.comm import (
+    IB_100G,
+    IB_800G,
+    NVLINK,
+    PCIE4,
+    LinkSpec,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+    send_recv_time,
+)
+from repro.hardware.efficiency import (
+    DEFAULT_EFFICIENCY,
+    EfficiencyModel,
+    layer_forward_seconds,
+    sliced_layer_slowdown,
+)
+from repro.hardware.gpu import (
+    A100_40GB,
+    A100_80GB,
+    GPUS,
+    RTX_4090,
+    GPUSpec,
+    get_gpu,
+)
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "A100_CLUSTER",
+    "CLUSTERS",
+    "DEFAULT_EFFICIENCY",
+    "EfficiencyModel",
+    "GPUS",
+    "GPUSpec",
+    "IB_100G",
+    "IB_800G",
+    "LinkSpec",
+    "NVLINK",
+    "PCIE4",
+    "RTX4090_CLUSTER",
+    "RTX_4090",
+    "ClusterSpec",
+    "get_cluster",
+    "get_gpu",
+    "layer_forward_seconds",
+    "ring_all_gather_time",
+    "ring_all_reduce_time",
+    "ring_reduce_scatter_time",
+    "send_recv_time",
+    "sliced_layer_slowdown",
+]

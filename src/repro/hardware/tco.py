@@ -1,0 +1,78 @@
+"""Total cost of ownership: purchase price vs power (Section 9).
+
+The paper's third discussion point: two RTX 4090s match one A100's
+effective compute but burn 900 W against 400 W, so A100 clusters win on
+operating cost — yet at $0.1/kWh it takes ~24 years of that saving to
+repay the 5x higher purchase price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import A100_80GB, RTX_4090, GPUSpec
+
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class TCOComparison:
+    """Capex/opex comparison of two equal-compute GPU deployments."""
+
+    cheap_gpus_per_expensive: float
+    capex_cheap_usd: float
+    capex_expensive_usd: float
+    power_cheap_watts: float
+    power_expensive_watts: float
+    electricity_usd_per_kwh: float
+
+    @property
+    def capex_saving_usd(self) -> float:
+        """Purchase saving per expensive-GPU-equivalent of compute."""
+        return self.capex_expensive_usd - self.capex_cheap_usd
+
+    @property
+    def extra_power_watts(self) -> float:
+        """Additional power draw of the cheap deployment."""
+        return self.power_cheap_watts - self.power_expensive_watts
+
+    @property
+    def extra_power_cost_per_hour(self) -> float:
+        return self.extra_power_watts / 1000.0 * self.electricity_usd_per_kwh
+
+    @property
+    def parity_years(self) -> float:
+        """Years until the expensive cluster's power saving repays its
+        purchase premium (infinite if it never does)."""
+        if self.extra_power_cost_per_hour <= 0:
+            return float("inf")
+        hours = self.capex_saving_usd / self.extra_power_cost_per_hour
+        return hours / HOURS_PER_YEAR
+
+
+def compare_equal_compute(
+    cheap: GPUSpec = RTX_4090,
+    expensive: GPUSpec = A100_80GB,
+    electricity_usd_per_kwh: float = 0.1,
+    gpus_per_server: int = 8,
+    compute_ratio: float | None = None,
+) -> TCOComparison:
+    """Compare deployments sized to equal effective training compute.
+
+    ``compute_ratio`` (cheap GPUs per expensive one) defaults to the
+    paper's round figure — "two RTX 4090 GPUs deliver computational
+    performance comparable to a single A100" (Section 9); pass ``None``
+    explicitly derived ratios via ``effective_tflops`` if preferred.
+    """
+    if compute_ratio is None:
+        compute_ratio = 2.0 if (cheap is RTX_4090 and expensive is A100_80GB) \
+            else expensive.effective_tflops / cheap.effective_tflops
+    ratio = compute_ratio
+    return TCOComparison(
+        cheap_gpus_per_expensive=ratio,
+        capex_cheap_usd=ratio * cheap.server_price_usd / gpus_per_server,
+        capex_expensive_usd=expensive.server_price_usd / gpus_per_server,
+        power_cheap_watts=ratio * cheap.power_watts,
+        power_expensive_watts=expensive.power_watts,
+        electricity_usd_per_kwh=electricity_usd_per_kwh,
+    )

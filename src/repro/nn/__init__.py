@@ -1,0 +1,16 @@
+"""NumPy training substrate: slice-wise transformer with split backward."""
+
+from repro.nn.adam import Adam
+from repro.nn.layers import Component, DecoderLayer, Embedding, LossHead
+from repro.nn.model import TransformerModel, build_model, sequential_step
+
+__all__ = [
+    "Adam",
+    "Component",
+    "DecoderLayer",
+    "Embedding",
+    "LossHead",
+    "TransformerModel",
+    "build_model",
+    "sequential_step",
+]

@@ -1,0 +1,47 @@
+"""Adam optimizer over a model's parameter/gradient dictionaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import TransformerModel
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) with bias correction.
+
+    Operates in place on a :class:`TransformerModel`'s parameters using
+    the gradients its components accumulated.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.step_count = 0
+        self.m = {k: np.zeros_like(v) for k, v in model.named_params().items()}
+        self.v = {k: np.zeros_like(v) for k, v in model.named_params().items()}
+
+    def step(self) -> None:
+        """Apply one update and zero the gradients."""
+        self.step_count += 1
+        t = self.step_count
+        params = self.model.named_params()
+        grads = self.model.named_grads()
+        for key, p in params.items():
+            g = grads[key]
+            self.m[key] = self.beta1 * self.m[key] + (1 - self.beta1) * g
+            self.v[key] = self.beta2 * self.v[key] + (1 - self.beta2) * g * g
+            m_hat = self.m[key] / (1 - self.beta1**t)
+            v_hat = self.v[key] / (1 - self.beta2**t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self.model.init_grads()

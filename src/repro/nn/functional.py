@@ -1,0 +1,179 @@
+"""Primitive neural-network ops with explicit forward/backward.
+
+All functions operate on NumPy arrays in float64 so that pipeline
+schedules can be verified to produce *bit-comparable* gradients against
+sequential execution.  Every backward is hand-derived and split the way
+MEPipe splits it: ``*_dgrad`` produces input gradients, ``*_wgrad``
+produces weight gradients from the saved forward inputs — the two halves
+zero-bubble scheduling reorders independently (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Array = np.ndarray
+
+
+# ----------------------------------------------------------------------
+# Linear
+# ----------------------------------------------------------------------
+def linear(x: Array, w: Array) -> Array:
+    """``y = x @ w`` with ``x: (..., in)`` and ``w: (in, out)``."""
+    return x @ w
+
+
+def linear_dgrad(dy: Array, w: Array) -> Array:
+    """Input gradient of :func:`linear`."""
+    return dy @ w.T
+
+
+def linear_wgrad(x: Array, dy: Array) -> Array:
+    """Weight gradient of :func:`linear` — one GEMM, freely deferrable."""
+    x2 = x.reshape(-1, x.shape[-1])
+    dy2 = dy.reshape(-1, dy.shape[-1])
+    return x2.T @ dy2
+
+
+# ----------------------------------------------------------------------
+# RMSNorm
+# ----------------------------------------------------------------------
+def rmsnorm(x: Array, g: Array, eps: float = 1e-6) -> tuple[Array, Array]:
+    """Root-mean-square layer norm; returns ``(y, inv_rms)``."""
+    inv = 1.0 / np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x * inv * g, inv
+
+
+def rmsnorm_dgrad(dy: Array, x: Array, g: Array, inv: Array) -> Array:
+    """Input gradient of :func:`rmsnorm`."""
+    h = x.shape[-1]
+    dxhat = dy * g
+    dot = np.sum(dxhat * x, axis=-1, keepdims=True)
+    return inv * dxhat - (inv**3 / h) * x * dot
+
+
+def rmsnorm_wgrad(dy: Array, x: Array, inv: Array) -> Array:
+    """Gain gradient of :func:`rmsnorm`."""
+    contrib = dy * x * inv
+    return contrib.reshape(-1, x.shape[-1]).sum(axis=0)
+
+
+# ----------------------------------------------------------------------
+# SiLU / SwiGLU
+# ----------------------------------------------------------------------
+def silu(x: Array) -> Array:
+    """``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def silu_dgrad(dy: Array, x: Array) -> Array:
+    """Input gradient of :func:`silu`."""
+    s = 1.0 / (1.0 + np.exp(-x))
+    return dy * s * (1.0 + x * (1.0 - s))
+
+
+# ----------------------------------------------------------------------
+# Rotary position embedding
+# ----------------------------------------------------------------------
+def rope_angles(head_dim: int, positions: Array) -> tuple[Array, Array]:
+    """cos/sin tables for RoPE at ``positions``; shape (T, head_dim/2)."""
+    half = head_dim // 2
+    freq = 1.0 / (10000.0 ** (np.arange(half) / half))
+    theta = positions[:, None] * freq[None, :]
+    return np.cos(theta), np.sin(theta)
+
+
+def rope_apply(x: Array, cos: Array, sin: Array) -> Array:
+    """Rotate pairs of channels; ``x: (B, H, T, D)``."""
+    x1, x2 = x[..., 0::2], x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def rope_unapply(dy: Array, cos: Array, sin: Array) -> Array:
+    """Backward of :func:`rope_apply` (the inverse rotation)."""
+    return rope_apply(dy, cos, -sin)
+
+
+# ----------------------------------------------------------------------
+# Causal attention over a KV prefix
+# ----------------------------------------------------------------------
+def attention_slice(
+    q: Array, k: Array, v: Array, offset: int
+) -> tuple[Array, Array]:
+    """Causal attention of a query slice against a key/value prefix.
+
+    Args:
+        q: Queries ``(B, H, t, D)`` for tokens ``offset .. offset+t-1``.
+        k: Keys ``(B, H, T_kv, D)`` with ``T_kv >= offset + t`` — the
+            concatenation of all preceding slices' keys plus this one.
+        v: Values, same shape as ``k``.
+        offset: Absolute position of the first query token.
+
+    Returns:
+        ``(out, probs)`` with ``out: (B, H, t, D)``; ``probs`` is saved
+        for the backward pass.
+    """
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+    t, t_kv = q.shape[2], k.shape[2]
+    pos_q = offset + np.arange(t)[:, None]
+    pos_k = np.arange(t_kv)[None, :]
+    scores = np.where(pos_k <= pos_q, scores, -np.inf)
+    scores -= scores.max(axis=-1, keepdims=True)
+    expv = np.exp(scores)
+    probs = expv / expv.sum(axis=-1, keepdims=True)
+    return probs @ v, probs
+
+
+def attention_slice_dgrad(
+    dout: Array, q: Array, k: Array, v: Array, probs: Array
+) -> tuple[Array, Array, Array]:
+    """Backward of :func:`attention_slice`.
+
+    Returns ``(dq, dk, dv)``; ``dk``/``dv`` cover the *whole* prefix —
+    the slice-level pipeline routes the sub-blocks belonging to earlier
+    slices back to their pending-gradient buffers (the inverse of the
+    Figure 3 KV dependency).
+    """
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    dv = probs.transpose(0, 1, 3, 2) @ dout
+    dprobs = dout @ v.transpose(0, 1, 3, 2)
+    dot = np.sum(dprobs * probs, axis=-1, keepdims=True)
+    dscores = probs * (dprobs - dot)
+    dq = (dscores @ k) * scale
+    dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
+    return dq, dk, dv
+
+
+# ----------------------------------------------------------------------
+# Cross-entropy over logits
+# ----------------------------------------------------------------------
+def cross_entropy(
+    logits: Array, targets: Array, loss_scale: float
+) -> tuple[float, Array]:
+    """Token-mean cross entropy with a precomputed normalization.
+
+    Args:
+        logits: ``(B, t, V)``.
+        targets: ``(B, t)`` integer labels.
+        loss_scale: Weight of each token in the iteration loss — slices
+            of one iteration must all use the same scale so that
+            slice-wise gradients sum to the full-batch gradients.
+
+    Returns:
+        ``(loss_contribution, dlogits)``.
+    """
+    m = logits.max(axis=-1, keepdims=True)
+    z = logits - m
+    lse = np.log(np.exp(z).sum(axis=-1, keepdims=True))
+    logp = z - lse
+    b_idx = np.arange(logits.shape[0])[:, None]
+    t_idx = np.arange(logits.shape[1])[None, :]
+    picked = logp[b_idx, t_idx, targets]
+    loss = -picked.sum() * loss_scale
+    dlogits = np.exp(logp)
+    dlogits[b_idx, t_idx, targets] -= 1.0
+    return float(loss), dlogits * loss_scale

@@ -1,0 +1,143 @@
+"""Full decoder model assembly, partitioning, and a sequential reference.
+
+The model is a list of components — ``Embedding``, ``num_layers`` x
+``DecoderLayer``, ``LossHead`` — which matches the paper's
+"balanced layer count" view (Section 7.1): the embedding and the head
+each occupy one schedulable slot.  ``partition`` cuts this list into
+``v * p`` contiguous chunks for pipeline execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.spec import ModelSpec
+from repro.nn.layers import Component, DecoderLayer, Embedding, LossHead
+
+Array = np.ndarray
+
+
+@dataclass
+class TransformerModel:
+    """A complete model plus its spec."""
+
+    spec: ModelSpec
+    components: list[Component]
+
+    @property
+    def embedding(self) -> Embedding:
+        return self.components[0]  # type: ignore[return-value]
+
+    @property
+    def head(self) -> LossHead:
+        return self.components[-1]  # type: ignore[return-value]
+
+    def init_grads(self) -> None:
+        """Zero all parameter gradients."""
+        for c in self.components:
+            c.init_grads()
+
+    def named_params(self) -> dict[str, Array]:
+        """Flat view ``{component_index.param_name: array}``."""
+        out = {}
+        for i, c in enumerate(self.components):
+            for k, v in c.params.items():
+                out[f"{i}.{k}"] = v
+        return out
+
+    def named_grads(self) -> dict[str, Array]:
+        """Flat view of all gradients."""
+        out = {}
+        for i, c in enumerate(self.components):
+            for k, v in c.grads.items():
+                out[f"{i}.{k}"] = v
+        return out
+
+    def live_bytes(self) -> int:
+        """Bytes of stored forward state across all components."""
+        return sum(c.live_bytes() for c in self.components)
+
+    def partition(self, num_chunks: int) -> list[list[Component]]:
+        """Cut the component list into contiguous, balanced chunks."""
+        total = len(self.components)
+        if num_chunks > total:
+            raise ValueError(
+                f"cannot cut {total} components into {num_chunks} chunks")
+        base, extra = divmod(total, num_chunks)
+        chunks, start = [], 0
+        for i in range(num_chunks):
+            size = base + (1 if i < extra else 0)
+            chunks.append(self.components[start : start + size])
+            start += size
+        return chunks
+
+
+def build_model(
+    spec: ModelSpec, seed: int = 0, recompute: bool = False
+) -> TransformerModel:
+    """Construct a model with deterministic initialization.
+
+    ``recompute=True`` builds layers that keep only their input after
+    the forward pass and replay the math at backward time (whole
+    micro-batches only, matching the paper's constraint).
+    """
+    rng = np.random.default_rng(seed)
+    components: list[Component] = [Embedding(spec.vocab_size, spec.hidden_size, rng)]
+    for _unused in range(spec.num_layers):
+        components.append(
+            DecoderLayer(
+                spec.hidden_size,
+                spec.num_heads,
+                spec.ffn_hidden_size,
+                rng,
+                num_kv_heads=spec.kv_heads,
+                recompute=recompute,
+            )
+        )
+    components.append(LossHead(spec.hidden_size, spec.vocab_size, rng))
+    model = TransformerModel(spec=spec, components=components)
+    model.init_grads()
+    return model
+
+
+def sequential_step(
+    model: TransformerModel,
+    tokens: Array,
+    targets: Array,
+    num_slices: int = 1,
+) -> float:
+    """Reference execution: forward + backward, micro-batch at a time.
+
+    Args:
+        model: The model (gradients are accumulated into it).
+        tokens: ``(n, B, T)`` token ids for ``n`` micro-batches.
+        targets: Same shape, the labels.
+        num_slices: Slices per sample — with 1 this is the classic
+            non-sliced execution every schedule must reproduce.
+
+    Returns:
+        The iteration loss (token mean over all micro-batches).
+    """
+    n, batch, seqlen = tokens.shape
+    if seqlen % num_slices != 0:
+        raise ValueError("sequence not divisible into slices")
+    t = seqlen // num_slices
+    model.head.loss_scale = 1.0 / (n * batch * seqlen)
+    total_loss = 0.0
+    for mb in range(n):
+        for sl in range(num_slices):
+            lo, hi = sl * t, (sl + 1) * t
+            model.head.set_targets(mb, sl, targets[mb, :, lo:hi])
+            x: object = tokens[mb, :, lo:hi]
+            for comp in model.components:
+                x = comp.forward(mb, sl, x)
+            total_loss += float(x)  # LossHead returns the slice loss
+        for sl in reversed(range(num_slices)):
+            dy: object = None
+            for comp in reversed(model.components):
+                dy = comp.backward(mb, sl, dy)
+                for task in comp.pop_wgrad_tasks(mb, sl):
+                    task()
+    return total_loss

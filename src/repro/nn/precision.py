@@ -1,0 +1,107 @@
+"""Mixed-precision training utilities (Section 9, second point).
+
+Training in FP16 "is prone to overflow and underflow issues, requiring
+techniques like sandwich layer normalization and embedding layer
+gradient shrink" (citing GLM-130B).  This module provides the standard
+toolkit: dynamic loss scaling with overflow-skip, and the embedding
+gradient shrink.  The substrate itself computes in float64 for
+verifiability; these utilities operate on its gradient dictionaries and
+are exercised with injected overflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.model import TransformerModel
+
+
+def has_overflow(grads: dict[str, np.ndarray]) -> bool:
+    """True if any gradient contains inf or NaN."""
+    return any(not np.isfinite(g).all() for g in grads.values())
+
+
+@dataclass
+class LossScaler:
+    """Dynamic loss scaling with overflow-skip (NVIDIA Apex semantics).
+
+    The loss is multiplied by ``scale`` before backward; gradients are
+    divided by it before the optimizer step.  On overflow the step is
+    skipped and the scale halved; after ``growth_interval`` clean steps
+    the scale doubles.
+
+    Attributes:
+        scale: Current loss scale.
+        growth_interval: Clean steps before the scale doubles.
+        min_scale / max_scale: Clamping bounds.
+    """
+
+    scale: float = 2.0**15
+    growth_interval: int = 200
+    min_scale: float = 1.0
+    max_scale: float = 2.0**24
+    backoff: float = 0.5
+    growth: float = 2.0
+    _clean_steps: int = 0
+    skipped_steps: int = 0
+
+    def scale_loss(self, loss: float) -> float:
+        """Value the backward pass should start from."""
+        return loss * self.scale
+
+    def unscale_and_check(self, grads: dict[str, np.ndarray]) -> bool:
+        """Unscale gradients in place; returns True if the step may run.
+
+        On overflow the gradients are zeroed (the step must be skipped)
+        and the scale backs off.
+        """
+        if has_overflow(grads):
+            for g in grads.values():
+                g[...] = 0.0
+            self.scale = max(self.min_scale, self.scale * self.backoff)
+            self._clean_steps = 0
+            self.skipped_steps += 1
+            return False
+        inv = 1.0 / self.scale
+        for g in grads.values():
+            g *= inv
+        self._clean_steps += 1
+        if self._clean_steps >= self.growth_interval:
+            self.scale = min(self.max_scale, self.scale * self.growth)
+            self._clean_steps = 0
+        return True
+
+
+def shrink_embedding_gradients(model: TransformerModel, alpha: float = 0.1) -> None:
+    """GLM-130B's embedding-layer gradient shrink.
+
+    Scales the embedding table's gradient by ``alpha``, damping the
+    disproportionately large early-training embedding updates that
+    destabilize FP16 runs.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1]")
+    model.embedding.grads["table"] *= alpha
+
+
+@dataclass
+class GradNormClipper:
+    """Global gradient-norm clipping (standard Megatron companion)."""
+
+    max_norm: float = 1.0
+    last_norm: float = field(default=0.0, init=False)
+
+    def clip(self, grads: dict[str, np.ndarray]) -> float:
+        """Scale all gradients so their global L2 norm <= max_norm."""
+        total = 0.0
+        for g in grads.values():
+            total += float(np.sum(g * g))
+        norm = float(np.sqrt(total))
+        self.last_norm = norm
+        if norm > self.max_norm and norm > 0:
+            factor = self.max_norm / norm
+            for g in grads.values():
+                g *= factor
+        return norm

@@ -1,0 +1,5 @@
+"""Numerical pipeline runtime executing schedules on the NumPy model."""
+
+from repro.pipeline.runtime import CommLog, PipelineRuntime, RunResult, StageStats
+
+__all__ = ["CommLog", "PipelineRuntime", "RunResult", "StageStats"]

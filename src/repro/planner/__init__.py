@@ -1,0 +1,23 @@
+"""Config evaluation, Section 4.5 variant selection, grid search, and
+cost-model fitting."""
+
+from repro.planner.costfit import (
+    FittedCurve,
+    fit_efficiency_curve,
+    observations_from_slices,
+    synthetic_observations,
+)
+from repro.planner.evaluate import EvalResult, evaluate_config, select_variant
+from repro.planner.search import SearchResult, search_method
+
+__all__ = [
+    "EvalResult",
+    "FittedCurve",
+    "SearchResult",
+    "evaluate_config",
+    "fit_efficiency_curve",
+    "observations_from_slices",
+    "search_method",
+    "select_variant",
+    "synthetic_observations",
+]

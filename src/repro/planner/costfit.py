@@ -1,0 +1,122 @@
+"""Fit cost-model parameters from profiler measurements.
+
+Section 9's fourth discussion point: the grid search "calls for
+automated parallelization frameworks that can construct cost models".
+This module is that construction step — it fits the saturating kernel-
+efficiency curve ``eff(t) = e_max * t / (t + t_half)`` (the model
+behind Figure 9) to measured per-slice forward times, so a planner can
+predict configurations it never profiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.efficiency import EfficiencyModel
+from repro.model.flops import layer_slice_flops
+from repro.model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class FittedCurve:
+    """Result of fitting the efficiency curve.
+
+    ``peak_flops`` absorbs ``e_max * hardware_peak`` (they are not
+    separately identifiable from timings alone); ``t_half`` is the
+    token count at half saturation.
+    """
+
+    peak_flops: float
+    half_saturation_tokens: float
+    residual: float
+
+    def predict_seconds(self, flops: float, tokens: int) -> float:
+        """Predicted kernel time for ``flops`` over ``tokens`` rows."""
+        eff = tokens / (tokens + self.half_saturation_tokens)
+        return flops / (self.peak_flops * eff)
+
+    def as_efficiency_model(self, hardware_peak_flops: float) -> EfficiencyModel:
+        """Express the fit relative to a known hardware peak."""
+        e_max = min(self.peak_flops / hardware_peak_flops, 1.0)
+        return EfficiencyModel(
+            max_gemm_efficiency=e_max,
+            max_attention_efficiency=e_max,
+            half_saturation_tokens=self.half_saturation_tokens,
+        )
+
+
+def observations_from_slices(
+    spec: ModelSpec, slice_seconds: dict[tuple[int, int], float]
+) -> list[tuple[float, int, float]]:
+    """Convert per-(tokens, offset) timings into (flops, tokens, secs)."""
+    out = []
+    for (tokens, offset), seconds in slice_seconds.items():
+        flops = layer_slice_flops(spec, tokens, offset).forward
+        out.append((float(flops), tokens, seconds))
+    return out
+
+
+def fit_efficiency_curve(
+    observations: list[tuple[float, int, float]],
+    t_half_grid: tuple[float, ...] = tuple(float(x) for x in
+                                           (1, 2, 4, 8, 16, 32, 64, 128, 256)),
+) -> FittedCurve:
+    """Least-squares fit of ``seconds = flops * (t + h) / (P * t)``.
+
+    For each candidate ``h`` the peak ``P`` has a closed-form optimum
+    (linear least squares through the origin on the transformed
+    variable); the grid picks the ``h`` with the smallest residual.
+
+    Args:
+        observations: ``(flops, tokens, measured_seconds)`` triples from
+            the profiler; needs at least two distinct token counts.
+    """
+    if len(observations) < 2:
+        raise ValueError("need at least two observations")
+    tokens = {t for _f, t, _s in observations}
+    if len(tokens) < 2:
+        raise ValueError("need at least two distinct token counts")
+    best: FittedCurve | None = None
+    flops = np.array([o[0] for o in observations])
+    toks = np.array([o[1] for o in observations], dtype=float)
+    secs = np.array([o[2] for o in observations])
+    for h in t_half_grid:
+        # seconds ~= (1/P) * x  with  x = flops * (toks + h) / toks
+        x = flops * (toks + h) / toks
+        inv_p = float(np.dot(x, secs) / np.dot(x, x))
+        if inv_p <= 0:
+            continue
+        residual = float(np.sqrt(np.mean((x * inv_p - secs) ** 2)))
+        candidate = FittedCurve(
+            peak_flops=1.0 / inv_p,
+            half_saturation_tokens=h,
+            residual=residual,
+        )
+        if best is None or candidate.residual < best.residual:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def synthetic_observations(
+    spec: ModelSpec,
+    eff: EfficiencyModel,
+    hardware_peak_flops: float,
+    slice_counts: tuple[int, ...] = (1, 2, 4, 8),
+    noise: float = 0.0,
+    seed: int = 0,
+) -> list[tuple[float, int, float]]:
+    """Generate ground-truth observations from a known curve (tests)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for s in slice_counts:
+        t = spec.seq_length // s
+        for i in range(s):
+            flops = layer_slice_flops(spec, t, i * t).forward
+            seconds = flops / (hardware_peak_flops * eff.gemm(t))
+            if noise:
+                seconds *= 1.0 + rng.normal(0, noise)
+            out.append((float(flops), t, seconds))
+    return out

@@ -1,0 +1,150 @@
+"""Evaluate one (method, parallel config) on a simulated cluster.
+
+This is the heart of every end-to-end experiment: it builds the
+pipeline problem, lets the method's scheduler plan with the calibrated
+cost model (the role MEPipe's profiler plays, Section 6), replays the
+schedule on the discrete-event executor, and converts the outcome into
+iteration time, memory footprint, OOM status, throughput, and MFU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.flops import model_train_flops
+from repro.model.memory import GiB, budget_for
+from repro.model.spec import ModelSpec
+from repro.parallel.strategies import ParallelConfig, validate_for_cluster
+from repro.schedules.greedy import default_first_stage_cap, min_first_stage_cap
+from repro.schedules.methods import build_problem, build_schedule, method_traits
+from repro.sim.cost import ClusterCost
+from repro.sim.executor import simulate
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of evaluating one configuration."""
+
+    method: str
+    config: ParallelConfig
+    iteration_time_s: float
+    bubble_ratio: float
+    peak_memory_bytes: int
+    activation_bytes: int
+    oom: bool
+    tflops_per_gpu: float
+    mfu: float
+    forwards_before_first_backward: int | None = None
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / GiB
+
+    def describe(self) -> str:
+        state = "OOM" if self.oom else f"{self.iteration_time_s * 1e3:8.1f} ms"
+        return (
+            f"{self.method:9s} {self.config.describe():34s} {state}  "
+            f"bubble={self.bubble_ratio:5.1%}  mem={self.peak_memory_gib:5.1f} GiB"
+        )
+
+
+#: Fine-grained W GEMM fragments per (slice, chunk) used in cluster
+#: evaluations; small to keep simulations fast, large enough that gap
+#: filling works.
+WGRAD_GEMMS = 2
+
+
+def evaluate_config(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    config: ParallelConfig,
+    global_batch_size: int,
+    forwards_before_first_backward: int | None = None,
+    auto_select_variant: bool = True,
+) -> EvalResult:
+    """Evaluate one configuration; never raises for OOM (returns it).
+
+    For SVPP/MEPipe, ``auto_select_variant`` applies the Section 4.5
+    memory model: the largest ``f`` whose activation footprint fits the
+    device budget is selected (fewer forwards in flight -> more bubbles
+    but less memory, Figure 5).
+    """
+    traits = method_traits(method)
+    vp = traits.fixed_vp or config.vp
+    effective = config.with_(vp=vp) if vp != config.vp else config
+    problems = validate_for_cluster(effective, cluster.num_devices, spec)
+    if problems:
+        raise ValueError(f"invalid config {effective}: {problems}")
+    n = config.micro_batches(global_batch_size)
+    wgrad_gemms = WGRAD_GEMMS if traits.split_backward else 1
+    problem = build_problem(
+        method,
+        config.pp,
+        n,
+        num_slices=config.spp,
+        virtual_size=vp,
+        wgrad_gemms=wgrad_gemms,
+    )
+    cost = ClusterCost(spec=spec, config=config, cluster=cluster, problem=problem)
+
+    budget = budget_for(
+        spec,
+        capacity_bytes=cluster.gpu.memory_bytes,
+        # TP shards every stage's parameters the same way more pipeline
+        # stages would, so it folds into the per-device divisor.
+        pipeline_stages=config.pp * config.tp,
+        total_devices=cluster.num_devices,
+        micro_batch_tokens=cost.tokens_per_op * config.micro_batch_size,
+    )
+
+    f = forwards_before_first_backward
+    if f is None and auto_select_variant and traits.uses_spp:
+        f = select_variant(problem, cost, budget.available_for_activations)
+
+    schedule = build_schedule(
+        method, problem, cost=cost, forwards_before_first_backward=f
+    )
+    overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
+    result = simulate(schedule, cost, overhead_time=overhead)
+
+    act_bytes = int(result.peak_activation_units * cost.activation_bytes_per_unit())
+    peak = budget.static + budget.temporary + budget.allocator_reserve + act_bytes
+    peak += budget.framework_overhead
+    oom = peak > cluster.gpu.memory_bytes
+    tokens = global_batch_size * spec.seq_length
+    flops = model_train_flops(spec, spec.seq_length) * global_batch_size
+    tflops_per_gpu = flops / result.iteration_time / cluster.num_devices / 1e12
+    mfu = tflops_per_gpu / cluster.gpu.peak_fp16_tflops
+    return EvalResult(
+        method=method,
+        config=config,
+        iteration_time_s=result.iteration_time,
+        bubble_ratio=result.bubble_ratio,
+        peak_memory_bytes=peak,
+        activation_bytes=act_bytes,
+        oom=oom,
+        tflops_per_gpu=tflops_per_gpu,
+        mfu=mfu,
+        forwards_before_first_backward=f,
+    )
+
+
+def select_variant(problem, cost: ClusterCost, available_bytes: int) -> int | None:
+    """Section 4.5: pick the largest feasible ``f`` for the budget.
+
+    Returns ``None`` when even the memory-optimal variant fits (the
+    scheduler then uses its default), otherwise the clamped ``f``; the
+    minimum ``v*s`` is returned even when it does not fit — the caller
+    detects the OOM from the simulated footprint.
+    """
+    per_op = cost.activation_bytes_per_unit() * problem.activation_units_per_op
+    max_f = default_first_stage_cap(problem)
+    min_f = min_first_stage_cap(problem)
+    if available_bytes <= 0:
+        return min_f
+    fit = int(available_bytes // per_op)
+    if fit >= max_f:
+        return None
+    return max(min_f, fit)

@@ -1,0 +1,109 @@
+"""Grid search for the optimal parallel strategy per scheduling method.
+
+Section 7.3 ("Selection of the Optimal Parallel Strategy"): memory and
+bubble ratio are predictable, communication and kernel efficiency less
+so, hence the paper grid-searches (PP, DP, CP or SPP, VP, recompute)
+per method.  This module reproduces that search against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+from repro.parallel.grid import enumerate_configs
+from repro.parallel.strategies import ParallelConfig
+from repro.planner.evaluate import EvalResult, evaluate_config
+from repro.schedules.base import ScheduleError
+from repro.schedules.methods import method_traits
+
+
+@dataclass
+class SearchResult:
+    """Best configuration found for one method, plus the trail."""
+
+    method: str
+    best: EvalResult | None
+    evaluated: list[EvalResult]
+
+    @property
+    def all_oom(self) -> bool:
+        return self.best is None and bool(self.evaluated)
+
+
+def search_method(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    global_batch_size: int,
+    max_spp: int = 16,
+    max_vp: int = 2,
+    min_dp: int = 2,
+) -> SearchResult:
+    """Find the fastest non-OOM configuration of ``method``.
+
+    The candidate space follows the paper's per-method search spaces
+    (Section 7.1 "Baseline"): DAPPLE searches DP/PP/CP/recompute, VPP
+    additionally VP, ZB/ZBV search PP/CP only (no recomputation), and
+    SVPP/MEPipe search PP/SPP/VP with no CP and no recomputation.
+    """
+    traits = method_traits(method)
+    candidates = enumerate_configs(
+        spec,
+        cluster.num_devices,
+        global_batch_size,
+        use_cp=traits.uses_cp,
+        use_spp=traits.uses_spp,
+        use_vp=traits.uses_vp and traits.fixed_vp is None,
+        use_recompute=traits.supports_recompute,
+        min_dp=min_dp,
+        max_spp=max_spp,
+        max_vp=max_vp,
+    )
+    evaluated: list[EvalResult] = []
+    best: EvalResult | None = None
+    for config in candidates:
+        if traits.fixed_vp is not None and config.vp != 1:
+            continue
+        if not _worth_evaluating(method, config, spec, cluster, global_batch_size):
+            continue
+        try:
+            result = evaluate_config(
+                method, spec, cluster, config, global_batch_size)
+        except (ScheduleError, ValueError):
+            continue
+        evaluated.append(result)
+        if result.oom:
+            continue
+        if best is None or result.iteration_time_s < best.iteration_time_s:
+            best = result
+    return SearchResult(method=method, best=best, evaluated=evaluated)
+
+
+def _worth_evaluating(
+    method: str,
+    config: ParallelConfig,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    global_batch_size: int,
+) -> bool:
+    """Cheap static pruning to keep the search tractable.
+
+    Skips configurations whose *static* memory alone exceeds the device
+    (the simulator would only confirm the OOM) and caps the number of
+    micro-batches at 512 to bound simulation cost.
+    """
+    from repro.model.memory import budget_for
+
+    n = global_batch_size // config.dp
+    if n > 512:
+        return False
+    budget = budget_for(
+        spec,
+        capacity_bytes=cluster.gpu.memory_bytes,
+        pipeline_stages=config.pp,
+        total_devices=cluster.num_devices,
+        micro_batch_tokens=spec.seq_length // (config.cp * config.spp),
+    )
+    return budget.available_for_activations > 0

@@ -1,0 +1,82 @@
+"""Hardware-failure cost model (Section 9, first discussion point).
+
+The paper estimates that with memory-based checkpointing recovering in
+minutes, hardware failures cost less than 5% of the throughput of a
+thousand-RTX-4090 cluster, extrapolating from the OPT logbook's ~12 h
+MTBF for a thousand A100s.  This module implements the standard
+Young/Daly analysis those estimates rest on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Failure/recovery characteristics of a training cluster.
+
+    Attributes:
+        cluster_mtbf_hours: Mean time between failures of the *whole*
+            job (any participating device failing stops the iteration).
+        checkpoint_seconds: Time to take one checkpoint.
+        recovery_seconds: Time from failure to resumed training
+            (detection, reschedule, state restore).
+    """
+
+    cluster_mtbf_hours: float
+    checkpoint_seconds: float
+    recovery_seconds: float
+
+    @property
+    def mtbf_seconds(self) -> float:
+        return self.cluster_mtbf_hours * 3600.0
+
+    def optimal_checkpoint_interval(self) -> float:
+        """Young's approximation: ``sqrt(2 * C * MTBF)`` seconds."""
+        return math.sqrt(2.0 * self.checkpoint_seconds * self.mtbf_seconds)
+
+    def overhead_fraction(self, interval_seconds: float | None = None) -> float:
+        """Expected throughput loss from checkpoints, rework, recovery.
+
+        Per failure the job loses on average half a checkpoint interval
+        of work plus the recovery time; between failures it pays one
+        checkpoint per interval.
+        """
+        tau = interval_seconds or self.optimal_checkpoint_interval()
+        checkpoint_cost = self.checkpoint_seconds / tau
+        per_failure = tau / 2.0 + self.recovery_seconds
+        failure_cost = per_failure / self.mtbf_seconds
+        return checkpoint_cost + failure_cost
+
+
+def scaled_mtbf(reference_hours: float, reference_gpus: int, gpus: int) -> float:
+    """Scale a measured MTBF to another cluster size (independent
+    failures: MTBF is inversely proportional to device count)."""
+    return reference_hours * reference_gpus / gpus
+
+
+#: OPT-175B logbook: roughly 12 hours between failures on ~1000 A100s.
+OPT_MTBF_HOURS = 12.0
+OPT_GPUS = 1000
+
+
+def rtx4090_thousand_gpu_model(
+    checkpoint_seconds: float = 20.0,
+    recovery_seconds: float = 120.0,
+    failure_rate_multiplier: float = 2.0,
+) -> ReliabilityModel:
+    """The paper's Section 9 scenario: a thousand RTX 4090s.
+
+    Consumer parts are assumed to fail ``failure_rate_multiplier`` times
+    as often as A100s; memory-based checkpointing (MegaScale/GEMINI,
+    the papers Section 9 cites) keeps checkpoints in seconds and
+    "reduces the fault recovery time to a few minutes".
+    """
+    mtbf = scaled_mtbf(OPT_MTBF_HOURS, OPT_GPUS, 1000) / failure_rate_multiplier
+    return ReliabilityModel(
+        cluster_mtbf_hours=mtbf,
+        checkpoint_seconds=checkpoint_seconds,
+        recovery_seconds=recovery_seconds,
+    )

@@ -1,0 +1,97 @@
+"""Pipeline schedule generation: baselines, SVPP, and MEPipe."""
+
+from repro.schedules.analysis import (
+    MethodAnalysis,
+    analyze,
+    dapple_analysis,
+    gpipe_analysis,
+    hanayo_analysis,
+    svpp_analysis,
+    svpp_limit_analysis,
+    terapipe_analysis,
+    vpp_analysis,
+)
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+    StageProgram,
+    validate_schedule,
+)
+from repro.schedules.classic import dapple_schedule, gpipe_schedule, terapipe_schedule
+from repro.schedules.greedy import (
+    GreedyPolicy,
+    default_first_stage_cap,
+    greedy_schedule,
+    min_first_stage_cap,
+    stage_cap,
+)
+from repro.schedules.interleaved import vpp_schedule
+from repro.schedules.methods import (
+    METHODS,
+    MethodTraits,
+    build_problem,
+    build_schedule,
+    method_traits,
+)
+from repro.schedules.svpp import (
+    mepipe_problem,
+    mepipe_schedule,
+    svpp_problem,
+    svpp_schedule,
+    svpp_variants,
+)
+from repro.schedules.zerobubble import (
+    hanayo_problem,
+    hanayo_schedule,
+    zb_problem,
+    zb_schedule,
+    zbv_problem,
+    zbv_schedule,
+)
+
+__all__ = [
+    "METHODS",
+    "MethodAnalysis",
+    "MethodTraits",
+    "GreedyPolicy",
+    "OpId",
+    "OpKind",
+    "PipelineProblem",
+    "Schedule",
+    "ScheduleError",
+    "StageProgram",
+    "analyze",
+    "build_problem",
+    "build_schedule",
+    "dapple_analysis",
+    "dapple_schedule",
+    "default_first_stage_cap",
+    "gpipe_analysis",
+    "gpipe_schedule",
+    "greedy_schedule",
+    "hanayo_analysis",
+    "hanayo_problem",
+    "hanayo_schedule",
+    "mepipe_problem",
+    "mepipe_schedule",
+    "method_traits",
+    "min_first_stage_cap",
+    "stage_cap",
+    "svpp_analysis",
+    "svpp_limit_analysis",
+    "svpp_problem",
+    "svpp_schedule",
+    "svpp_variants",
+    "terapipe_analysis",
+    "terapipe_schedule",
+    "validate_schedule",
+    "vpp_analysis",
+    "vpp_schedule",
+    "zb_problem",
+    "zb_schedule",
+    "zbv_problem",
+    "zbv_schedule",
+]

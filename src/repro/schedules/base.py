@@ -1,0 +1,295 @@
+"""Core data model for pipeline schedules.
+
+Every scheduling method in this library — the baselines (GPipe, DAPPLE,
+VPP, Hanayo, TeraPipe, zero-bubble) and MEPipe's SVPP — produces the
+same artifact: an ordered list of typed operations per pipeline stage
+over a shared dependency graph.  The simulator, the memory ledger, the
+NumPy pipeline runtime, and the visualizer all consume this one
+representation.
+
+The dependency structure (Section 4.1 of the paper) is:
+
+* ``F(mb, sl, c)`` — forward of slice ``sl`` of micro-batch ``mb`` on
+  model chunk ``c`` — needs the previous chunk's output
+  ``F(mb, sl, c-1)`` and, because causal attention consumes the keys and
+  values of every preceding slice, ``F(mb, sl-1, c)``.
+* ``B(mb, sl, c)`` — backward (activation gradients when the backward
+  pass is split) — needs ``B(mb, sl, c+1)``, the later slice's backward
+  ``B(mb, sl+1, c)`` (dK/dV contributions flow backward from later
+  slices), and its own forward ``F(mb, sl, c)``.
+* ``W(mb, sl, c, g)`` — weight-gradient GEMM ``g`` — needs only
+  ``B(mb, sl, c)`` and can be deferred arbitrarily (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class OpKind(enum.Enum):
+    """Type of a pipeline operation."""
+
+    F = "F"  #: forward pass of one slice on one chunk
+    B = "B"  #: backward pass (activation gradients if split)
+    W = "W"  #: weight-gradient computation (whole or one GEMM)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpId:
+    """Identity of one schedulable operation.
+
+    Attributes:
+        kind: F, B, or W.
+        microbatch: Micro-batch index in ``[0, n)``.
+        slice_idx: Slice index within the sample, ``[0, s)``.
+        chunk: Global model-chunk index in ``[0, v*p)``; chunk 0 holds
+            the first layers, chunk ``v*p - 1`` the head.
+        gemm: For ``W`` ops with fine-grained decomposition, the GEMM
+            index within the chunk; ``-1`` for a monolithic W op.
+    """
+
+    kind: OpKind
+    microbatch: int
+    slice_idx: int
+    chunk: int
+    gemm: int = -1
+
+    def __str__(self) -> str:
+        tag = f"{self.kind.value}{self.microbatch}.{self.slice_idx}c{self.chunk}"
+        if self.gemm >= 0:
+            tag += f"g{self.gemm}"
+        return tag
+
+    def sort_key(self) -> tuple[str, int, int, int, int]:
+        """Deterministic total order for reporting and diffing."""
+        return (self.kind.value, self.microbatch, self.slice_idx, self.chunk, self.gemm)
+
+    def __lt__(self, other: "OpId") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+@dataclass(frozen=True)
+class PipelineProblem:
+    """The static description one iteration of pipelined training.
+
+    Attributes:
+        num_stages: Pipeline-parallel size ``p``.
+        num_microbatches: Micro-batches ``n`` per iteration.
+        num_slices: Sequence-pipeline size ``s`` (slices per sample).
+        virtual_size: Virtual-pipeline size ``v`` (chunks per stage).
+        split_backward: Whether backward is split into B (activation
+            grads) and W (weight grads) ops, as in zero-bubble / MEPipe.
+        wgrad_gemms: Number of W GEMM fragments per (slice, chunk) when
+            ``split_backward``; 1 keeps W monolithic, larger values are
+            MEPipe's fine-grained decomposition (Section 5).
+        chunk_placement: ``"interleaved"`` assigns chunk ``c`` to stage
+            ``c % p`` (Megatron VPP and SVPP); ``"vshape"`` alternates
+            direction each round (Hanayo / ZBV style).
+    """
+
+    num_stages: int
+    num_microbatches: int
+    num_slices: int = 1
+    virtual_size: int = 1
+    split_backward: bool = False
+    wgrad_gemms: int = 1
+    chunk_placement: str = "interleaved"
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 1 or self.num_microbatches < 1:
+            raise ValueError("num_stages and num_microbatches must be >= 1")
+        if self.num_slices < 1 or self.virtual_size < 1:
+            raise ValueError("num_slices and virtual_size must be >= 1")
+        if self.wgrad_gemms < 1:
+            raise ValueError("wgrad_gemms must be >= 1")
+        if not self.split_backward and self.wgrad_gemms != 1:
+            raise ValueError("wgrad_gemms > 1 requires split_backward")
+        if self.chunk_placement not in ("interleaved", "vshape"):
+            raise ValueError(f"unknown chunk placement {self.chunk_placement!r}")
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_chunks(self) -> int:
+        """Total model chunks ``v * p``."""
+        return self.num_stages * self.virtual_size
+
+    def stage_of_chunk(self, chunk: int) -> int:
+        """Pipeline stage hosting a model chunk."""
+        if not 0 <= chunk < self.num_chunks:
+            raise ValueError(f"chunk {chunk} out of range")
+        p = self.num_stages
+        pos, rnd = chunk % p, chunk // p
+        if self.chunk_placement == "vshape" and rnd % 2 == 1:
+            return p - 1 - pos
+        return pos
+
+    def chunks_of_stage(self, stage: int) -> list[int]:
+        """Model chunks hosted by ``stage``, in ascending depth order."""
+        return [c for c in range(self.num_chunks) if self.stage_of_chunk(c) == stage]
+
+    @property
+    def activation_units_per_op(self) -> float:
+        """Activation share of one F op, as a fraction of ``A``.
+
+        One F op covers ``1/v/p`` of the layers for ``1/s`` of the
+        sample's tokens — the denominators of Section 4.1's arithmetic.
+        """
+        return 1.0 / (self.num_chunks * self.num_slices)
+
+    # ------------------------------------------------------------------
+    # Op enumeration and dependencies
+    # ------------------------------------------------------------------
+    def forward_ops(self) -> Iterator[OpId]:
+        """All F ops, unordered semantics (iteration is deterministic)."""
+        for mb in range(self.num_microbatches):
+            for sl in range(self.num_slices):
+                for c in range(self.num_chunks):
+                    yield OpId(OpKind.F, mb, sl, c)
+
+    def backward_ops(self) -> Iterator[OpId]:
+        """All B ops."""
+        for mb in range(self.num_microbatches):
+            for sl in range(self.num_slices):
+                for c in range(self.num_chunks):
+                    yield OpId(OpKind.B, mb, sl, c)
+
+    def wgrad_ops(self) -> Iterator[OpId]:
+        """All W ops (empty unless the backward pass is split)."""
+        if not self.split_backward:
+            return
+        for mb in range(self.num_microbatches):
+            for sl in range(self.num_slices):
+                for c in range(self.num_chunks):
+                    for g in range(self.wgrad_gemms):
+                        yield OpId(OpKind.W, mb, sl, c, g)
+
+    def all_ops(self) -> list[OpId]:
+        """Every op of one iteration."""
+        return [*self.forward_ops(), *self.backward_ops(), *self.wgrad_ops()]
+
+    def stage_of(self, op: OpId) -> int:
+        """Stage that executes ``op``."""
+        return self.stage_of_chunk(op.chunk)
+
+    def deps(self, op: OpId) -> list[OpId]:
+        """Direct dependencies of ``op`` (see module docstring)."""
+        mb, sl, c = op.microbatch, op.slice_idx, op.chunk
+        out: list[OpId] = []
+        if op.kind is OpKind.F:
+            if c > 0:
+                out.append(OpId(OpKind.F, mb, sl, c - 1))
+            if sl > 0:
+                out.append(OpId(OpKind.F, mb, sl - 1, c))
+        elif op.kind is OpKind.B:
+            out.append(OpId(OpKind.F, mb, sl, c))
+            if c < self.num_chunks - 1:
+                out.append(OpId(OpKind.B, mb, sl, c + 1))
+            if sl < self.num_slices - 1:
+                out.append(OpId(OpKind.B, mb, sl + 1, c))
+        else:
+            out.append(OpId(OpKind.B, mb, sl, c))
+        return out
+
+    def is_cross_stage(self, dep: OpId, op: OpId) -> bool:
+        """Whether satisfying ``dep -> op`` requires a stage-to-stage send."""
+        return self.stage_of(dep) != self.stage_of(op)
+
+    def first_backward_chunk(self) -> int:
+        """The chunk on which each sample's first backward runs."""
+        return self.num_chunks - 1
+
+
+@dataclass
+class StageProgram:
+    """The ordered op list one stage executes."""
+
+    stage: int
+    ops: list[OpId] = field(default_factory=list)
+
+
+@dataclass
+class Schedule:
+    """A complete schedule: one ordered program per stage.
+
+    Invariants (checked by :func:`validate_schedule`): each op appears
+    exactly once, on the stage that hosts its chunk, and the per-stage
+    orders are consistent with the dependency graph (no deadlock).
+    """
+
+    problem: PipelineProblem
+    programs: list[StageProgram]
+    name: str = "unnamed"
+
+    def stage_ops(self, stage: int) -> list[OpId]:
+        """Ordered ops of ``stage``."""
+        return self.programs[stage].ops
+
+    def op_count(self) -> int:
+        """Total ops across all stages."""
+        return sum(len(pr.ops) for pr in self.programs)
+
+
+class ScheduleError(Exception):
+    """A schedule violates placement, completeness, or dependency rules."""
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Raise :class:`ScheduleError` if the schedule is malformed.
+
+    Checks op placement, exact coverage of the problem's op set, and —
+    by running a token-passing simulation — that the per-stage orders
+    admit a deadlock-free execution.
+    """
+    problem = schedule.problem
+    expected = set(problem.all_ops())
+    seen: set[OpId] = set()
+    for program in schedule.programs:
+        for op in program.ops:
+            if op in seen:
+                raise ScheduleError(f"duplicate op {op}")
+            seen.add(op)
+            if problem.stage_of(op) != program.stage:
+                raise ScheduleError(
+                    f"op {op} scheduled on stage {program.stage}, "
+                    f"belongs to stage {problem.stage_of(op)}"
+                )
+    if seen != expected:
+        missing = sorted(expected - seen)[:5]
+        extra = sorted(seen - expected)[:5]
+        raise ScheduleError(
+            f"op set mismatch: {len(expected - seen)} missing (e.g. "
+            f"{[str(o) for o in missing]}), {len(seen - expected)} extra "
+            f"(e.g. {[str(o) for o in extra]})"
+        )
+
+    # Deadlock-freedom: repeatedly retire the head of any stage whose
+    # dependencies are all retired.
+    heads = [0] * len(schedule.programs)
+    done: set[OpId] = set()
+    total = schedule.op_count()
+    while len(done) < total:
+        progressed = False
+        for program in schedule.programs:
+            i = heads[program.stage]
+            while i < len(program.ops):
+                op = program.ops[i]
+                if any(d not in done for d in problem.deps(op)):
+                    break
+                done.add(op)
+                i += 1
+                progressed = True
+            heads[program.stage] = i
+        if not progressed:
+            stuck = [
+                str(program.ops[heads[program.stage]])
+                for program in schedule.programs
+                if heads[program.stage] < len(program.ops)
+            ]
+            raise ScheduleError(f"deadlock; blocked heads: {stuck}")

@@ -1,0 +1,92 @@
+"""Explicit generators for the classic pipeline schedules.
+
+These are the published, closed-form orderings the paper compares
+against: GPipe (all-forward-then-all-backward), TeraPipe (GPipe at
+slice granularity — sequence pipeline parallelism), and DAPPLE's 1F1B.
+Interleaved virtual pipelining (Megatron-LM-v2) lives in
+:mod:`repro.schedules.interleaved`.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+    StageProgram,
+)
+
+
+def _require_flat(problem: PipelineProblem, method: str, allow_slices: bool) -> None:
+    if problem.virtual_size != 1:
+        raise ScheduleError(f"{method} does not support virtual pipelining")
+    if problem.split_backward:
+        raise ScheduleError(f"{method} uses a fused backward pass")
+    if not allow_slices and problem.num_slices != 1:
+        raise ScheduleError(f"{method} schedules whole micro-batches only")
+
+
+def gpipe_schedule(problem: PipelineProblem) -> Schedule:
+    """GPipe: every forward, then every backward (FIFO).
+
+    Peak activation memory is all ``n`` micro-batches at once; the
+    bubble ratio is ``(p-1)/(p-1+n)``.
+    """
+    _require_flat(problem, "GPipe", allow_slices=False)
+    return _all_f_then_all_b(problem, name="gpipe")
+
+
+def terapipe_schedule(problem: PipelineProblem) -> Schedule:
+    """TeraPipe: GPipe-style scheduling at slice granularity (Figure 3).
+
+    Slices shrink the bubble to ``(p-1)/(n*s+p-1)`` but every sample's
+    activations stay live until the backward phase begins, so peak
+    memory is still ``n/p * A`` per worker (Section 2.1).
+    """
+    _require_flat(problem, "TeraPipe", allow_slices=True)
+    return _all_f_then_all_b(problem, name="terapipe")
+
+
+def _all_f_then_all_b(problem: PipelineProblem, name: str) -> Schedule:
+    programs = []
+    for stage in range(problem.num_stages):
+        ops: list[OpId] = []
+        for mb in range(problem.num_microbatches):
+            for sl in range(problem.num_slices):
+                ops.append(OpId(OpKind.F, mb, sl, stage))
+        for mb in reversed(range(problem.num_microbatches)):
+            for sl in reversed(range(problem.num_slices)):
+                ops.append(OpId(OpKind.B, mb, sl, stage))
+        programs.append(StageProgram(stage=stage, ops=ops))
+    return Schedule(problem=problem, programs=programs, name=name)
+
+
+def dapple_schedule(problem: PipelineProblem) -> Schedule:
+    """DAPPLE / PipeDream-Flush 1F1B (Figure 2).
+
+    Stage ``k`` runs ``min(n, p-k-1)`` warm-up forwards, then alternates
+    one-forward-one-backward, then drains the remaining backwards.  Peak
+    live micro-batches on stage ``k`` is ``min(n, p-k)``, giving the
+    Table 3 memory of ``A`` (first stage) when ``n >= p``.
+    """
+    _require_flat(problem, "DAPPLE", allow_slices=False)
+    p, n = problem.num_stages, problem.num_microbatches
+    programs = []
+    for stage in range(p):
+        warmup = min(n, p - stage - 1)
+        ops: list[OpId] = []
+        for mb in range(warmup):
+            ops.append(OpId(OpKind.F, mb, 0, stage))
+        f_next, b_next = warmup, 0
+        while f_next < n:
+            ops.append(OpId(OpKind.F, f_next, 0, stage))
+            ops.append(OpId(OpKind.B, b_next, 0, stage))
+            f_next += 1
+            b_next += 1
+        while b_next < n:
+            ops.append(OpId(OpKind.B, b_next, 0, stage))
+            b_next += 1
+        programs.append(StageProgram(stage=stage, ops=ops))
+    return Schedule(problem=problem, programs=programs, name="dapple")

@@ -1,0 +1,408 @@
+"""Policy-driven greedy schedule generation.
+
+MEPipe's scheduler (Sections 4.3 and 5) is reproduced here as an
+event-driven greedy construction: each stage, whenever it is free,
+chooses its next op under a policy of
+
+* **forward-first under a memory cap** — a stage runs a ready F op
+  while its live activation count stays below the cap; each backward
+  frees one slot, which yields exactly the one-forward-one-backward
+  alternation at slice granularity.  The cap of the first stage is the
+  paper's ``f`` parameter (forwards before the first backward), so
+  sweeping it yields the Figure 5 variants;
+* **front-micro-batch reservation** — an F op may not consume the cap
+  slots that the earliest unfinished micro-batch's remaining forwards
+  will need (the first backward of a sample depends on *all* of its
+  forwards, Section 4.2), which keeps every variant deadlock-free;
+* **weight-gradient gap filling** — when neither an F nor a B op is
+  runnable (waiting on communication, or F is capped), the stage pops a
+  deferred W GEMM from its queue (Section 5, Figure 7); stages defer at
+  most what their memory slack allows, so later stages postpone more.
+
+The same engine generates the zero-bubble (ZB/ZBV) and Hanayo baselines
+with micro-batch-granular problems and the corresponding caps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+    StageProgram,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.sim.cost import CostModel
+
+
+@dataclass(frozen=True)
+class GreedyPolicy:
+    """Knobs of the greedy generator.
+
+    Attributes:
+        first_stage_cap: Max live F ops on stage 0 — the paper's ``f``.
+            ``None`` means the method's memory-optimal default,
+            ``v*max(p, s) + min(p, s) - 1`` (Section 4.4).
+        cap_slope: How much smaller each subsequent stage's cap is;
+            1 reproduces 1F1B-style staircases, 0 the uniform caps of
+            wave (V-shaped) schedules.
+        backward_priority: ``"children"`` picks the ready B with the
+            most descendants first (the Section 4.3 rescheduling
+            optimization); ``"fifo"`` processes B ops in arrival order
+            (the unoptimized variant, for ablation).
+        fill_with_wgrad: Whether idle gaps may run deferred W GEMMs
+            (Section 5); False reproduces "W immediately after B".
+        wgrad_units: Activation-gradient units a deferred W pins,
+            relative to the activations of one F op.
+        wgrad_defer_samples: How many *samples'* worth of deferred
+            weight-gradient state (activations + activation gradients)
+            every stage may pin beyond its structural slack of
+            ``cap_slope * k`` units.  Expressed in samples so the slack
+            scales with the slice count (Section 5: later stages hold
+            fewer activations and can postpone more weight gradients).
+        strong_reserve: Reserve cap slots for the earliest micro-batch
+            with *pending forwards* instead of pending backwards.  This
+            is a stricter admission rule that guarantees progress for
+            every (f, v) variant at the price of a slightly larger
+            bubble; :func:`greedy_schedule` falls back to it
+            automatically if the fast rule wedges.
+    """
+
+    first_stage_cap: int | None = None
+    cap_slope: int = 1
+    backward_priority: str = "children"
+    forward_priority: str = "round_desc"
+    fill_with_wgrad: bool = True
+    wgrad_units: float = 1.0
+    wgrad_defer_samples: float = 0.5
+    strong_reserve: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backward_priority not in ("children", "fifo"):
+            raise ValueError(f"unknown backward_priority {self.backward_priority!r}")
+        if self.forward_priority not in _FORWARD_KEYS:
+            raise ValueError(f"unknown forward_priority {self.forward_priority!r}")
+
+
+#: Selection keys for ready forward ops (smaller tuple wins).
+_FORWARD_KEYS = {
+    # Finish later chunk rounds first (drives each sample toward its
+    # first backward); micro-batch order breaks ties.
+    "round_desc": lambda op, p: (-(op.chunk // p), op.microbatch,
+                                 op.slice_idx, op.chunk),
+    # Strict micro-batch-major order with later rounds preferred within
+    # a micro-batch; keeps consecutive samples from overtaking.
+    "mb_major": lambda op, p: (op.microbatch, -(op.chunk // p),
+                               op.slice_idx, op.chunk),
+    # Plain lexicographic order.
+    "plain": lambda op, p: (op.microbatch, op.slice_idx, op.chunk),
+}
+
+
+def default_first_stage_cap(problem: PipelineProblem) -> int:
+    """Memory-optimal ``f``: ``v*max(p,s) + min(p,s) - 1`` (Table 3)."""
+    p, s, v = problem.num_stages, problem.num_slices, problem.virtual_size
+    return v * max(p, s) + min(p, s) - 1
+
+
+def min_first_stage_cap(problem: PipelineProblem) -> int:
+    """Smallest feasible ``f``: all ``v*s`` forwards of one sample
+    (Section 4.2)."""
+    return problem.virtual_size * problem.num_slices
+
+
+def stage_cap(problem: PipelineProblem, policy: GreedyPolicy, stage: int) -> int:
+    """Live-F cap for one stage."""
+    f = policy.first_stage_cap
+    if f is None:
+        f = default_first_stage_cap(problem)
+    floor = min_first_stage_cap(problem)
+    if f < floor:
+        raise ScheduleError(
+            f"first_stage_cap {f} below the feasible minimum {floor} (= v*s)"
+        )
+    return max(f - policy.cap_slope * stage, floor)
+
+
+def _b_children(op: OpId) -> int:
+    """Number of B descendants within the same micro-batch (Section 4.3)."""
+    return (op.slice_idx + 1) * (op.chunk + 1) - 1
+
+
+@dataclass
+class _StageState:
+    stage: int
+    cap: int
+    free_at: float = 0.0
+    live_f: float = 0.0
+    deferred_units: float = 0.0
+    #: Ops whose dependencies have all been scheduled but which have not
+    #: themselves run yet, with their arrival times.
+    avail_f: dict[OpId, float] = field(default_factory=dict)
+    avail_b: dict[OpId, float] = field(default_factory=dict)
+    wgrad_queue: list[OpId] = field(default_factory=list)
+    #: Remaining (not yet run) F op count per micro-batch, for the
+    #: front-micro-batch cap reservation.
+    pending_f_by_mb: list[int] = field(default_factory=list)
+    pending_b_by_mb: list[int] = field(default_factory=list)
+    front_b_mb: int = 0
+    front_f_mb: int = 0
+    #: Kind of the last committed F/B op, for 1F1B alternation.
+    last_main: OpKind = OpKind.B
+    program: list[OpId] = field(default_factory=list)
+
+    def front_mb(self) -> int | None:
+        """Earliest micro-batch with backwards still pending here."""
+        counts = self.pending_b_by_mb
+        while self.front_b_mb < len(counts) and counts[self.front_b_mb] == 0:
+            self.front_b_mb += 1
+        if self.front_b_mb >= len(counts):
+            return None
+        return self.front_b_mb
+
+    def front_f(self) -> int | None:
+        """Earliest micro-batch with forwards still pending here."""
+        counts = self.pending_f_by_mb
+        while self.front_f_mb < len(counts) and counts[self.front_f_mb] == 0:
+            self.front_f_mb += 1
+        if self.front_f_mb >= len(counts):
+            return None
+        return self.front_f_mb
+
+
+def greedy_schedule(
+    problem: PipelineProblem,
+    policy: GreedyPolicy | None = None,
+    cost: CostModel | None = None,
+    name: str = "greedy",
+) -> Schedule:
+    """Generate a schedule with the greedy policy engine.
+
+    ``cost`` provides the op durations the scheduler plans with; MEPipe
+    uses its profiler's measurements here, and we default to the uniform
+    model (the generated *order* is then re-timed by the executor with
+    whatever cost model an experiment uses).
+
+    If the fast cap-reservation rule wedges (possible for small ``f``
+    with multiple chunk rounds), the generation is retried once with the
+    strong reservation rule, which is deadlock-free.
+    """
+    policy = policy or GreedyPolicy()
+    try:
+        return _greedy_once(problem, policy, cost, name)
+    except ScheduleError:
+        if policy.strong_reserve:
+            raise
+        from dataclasses import replace
+
+        return _greedy_once(
+            problem, replace(policy, strong_reserve=True), cost, name
+        )
+
+
+def _greedy_once(
+    problem: PipelineProblem,
+    policy: GreedyPolicy,
+    cost: CostModel | None,
+    name: str,
+) -> Schedule:
+    from repro.sim.cost import UniformCost
+
+    cost = cost or UniformCost(problem)
+    num_stages = problem.num_stages
+    n = problem.num_microbatches
+
+    states = [
+        _StageState(
+            stage=s,
+            cap=stage_cap(problem, policy, s),
+            pending_f_by_mb=[0] * n,
+            pending_b_by_mb=[0] * n,
+        )
+        for s in range(num_stages)
+    ]
+
+    all_ops = problem.all_ops()
+    deps_of: dict[OpId, list[OpId]] = {op: problem.deps(op) for op in all_ops}
+    dependents: dict[OpId, list[OpId]] = {}
+    unmet: dict[OpId, int] = {}
+    arrival: dict[OpId, float] = {op: 0.0 for op in all_ops}
+    stage_of: dict[OpId, int] = {op: problem.stage_of(op) for op in all_ops}
+    for op, deps in deps_of.items():
+        unmet[op] = len(deps)
+        for dep in deps:
+            dependents.setdefault(dep, []).append(op)
+
+    wgrads: dict[tuple[int, int, int], list[OpId]] = {}
+    for op in all_ops:
+        if op.kind is OpKind.F:
+            states[stage_of[op]].pending_f_by_mb[op.microbatch] += 1
+        elif op.kind is OpKind.B:
+            states[stage_of[op]].pending_b_by_mb[op.microbatch] += 1
+        else:
+            wgrads.setdefault((op.microbatch, op.slice_idx, op.chunk), []).append(op)
+
+    def publish(op: OpId) -> None:
+        """Move a zero-unmet F/B op into its stage's available set."""
+        state = states[stage_of[op]]
+        if op.kind is OpKind.F:
+            state.avail_f[op] = arrival[op]
+        elif op.kind is OpKind.B:
+            state.avail_b[op] = arrival[op]
+        # W ops are managed through the per-stage wgrad queues.
+
+    for op in all_ops:
+        if unmet[op] == 0 and op.kind is not OpKind.W:
+            publish(op)
+
+    counter = itertools.count()
+    # Wake events: (time, tiebreak, stage).
+    heap: list[tuple[float, int, int]] = [
+        (0.0, next(counter), s) for s in range(num_stages)
+    ]
+    remaining = len(all_ops)
+    end_time: dict[OpId, float] = {}
+
+    def choose_b(state: _StageState, now: float) -> OpId | None:
+        best: OpId | None = None
+        best_key: tuple | None = None
+        for op, arr in state.avail_b.items():
+            if arr > now + 1e-12:
+                continue
+            if policy.backward_priority == "children":
+                key = (-_b_children(op), op.microbatch, -op.slice_idx, -op.chunk)
+            else:
+                key = (op.microbatch, -op.slice_idx, -op.chunk)
+            if best_key is None or key < best_key:
+                best, best_key = op, key
+        return best
+
+    def choose_f(state: _StageState, now: float) -> OpId | None:
+        # The stage's next backward transitively needs every still-
+        # pending forward of the earliest unfinished micro-batch (the
+        # "front").  An F op may not eat the cap slots those forwards
+        # will need, or the pipeline wedges: the first backward could no
+        # longer fit under the cap.  The strong rule protects the
+        # earliest micro-batch with pending *forwards* instead, which is
+        # strictly safer (see GreedyPolicy.strong_reserve).
+        front = state.front_f() if policy.strong_reserve else state.front_mb()
+        needed = state.pending_f_by_mb[front] if front is not None else 0
+        p = problem.num_stages
+        keyfn = _FORWARD_KEYS[policy.forward_priority]
+        best: OpId | None = None
+        best_key: tuple | None = None
+        for op, arr in state.avail_f.items():
+            if arr > now + 1e-12:
+                continue
+            reserve = needed - (1 if op.microbatch == front else 0)
+            if state.live_f + 1.0 + reserve > state.cap + 1e-9:
+                continue
+            key = keyfn(op, p)
+            if best_key is None or key < best_key:
+                best, best_key = op, key
+        return best
+
+    def commit(state: _StageState, op: OpId, now: float) -> None:
+        nonlocal remaining
+        start = max(now, state.free_at)
+        end = start + cost.duration(op)
+        end_time[op] = end
+        state.free_at = end
+        state.program.append(op)
+        remaining -= 1
+        if op.kind is OpKind.F:
+            del state.avail_f[op]
+            state.live_f += 1.0
+            state.pending_f_by_mb[op.microbatch] -= 1
+            state.last_main = OpKind.F
+        elif op.kind is OpKind.B:
+            del state.avail_b[op]
+            state.live_f -= 1.0
+            state.pending_b_by_mb[op.microbatch] -= 1
+            state.last_main = OpKind.B
+            if problem.split_backward:
+                key = (op.microbatch, op.slice_idx, op.chunk)
+                state.wgrad_queue.extend(wgrads[key])
+                state.deferred_units += 1.0 + policy.wgrad_units
+        else:
+            state.wgrad_queue.remove(op)
+            state.deferred_units -= (1.0 + policy.wgrad_units) / problem.wgrad_gemms
+        heapq.heappush(heap, (end, next(counter), state.stage))
+        for dependent in dependents.get(op, ()):
+            when = end + cost.comm_time(op, dependent)
+            if when > arrival[dependent]:
+                arrival[dependent] = when
+            unmet[dependent] -= 1
+            if unmet[dependent] == 0 and dependent.kind is not OpKind.W:
+                publish(dependent)
+            # Wake the consumer's stage at the arrival moment.
+            heapq.heappush(heap, (when, next(counter), stage_of[dependent]))
+
+    while remaining:
+        if not heap:
+            stuck = [
+                str(op)
+                for st in states
+                for op in itertools.chain(st.avail_f, st.avail_b, st.wgrad_queue)
+            ][:8]
+            raise ScheduleError(f"greedy deadlock; runnable-but-unscheduled: {stuck}")
+        now, _tie, stage = heapq.heappop(heap)
+        state = states[stage]
+        if now + 1e-12 < state.free_at:
+            continue  # stage busy; its completion wake is already queued
+        # Stage k holds ~cap_slope*k fewer live activations than stage
+        # 0; that slack, plus the configured per-sample budget, is what
+        # it may fill with deferred weight-gradient state.
+        allowance = policy.cap_slope * stage + (
+            policy.wgrad_defer_samples
+            * problem.virtual_size
+            * problem.num_slices
+            * (1.0 + policy.wgrad_units)
+        )
+        if not policy.fill_with_wgrad and state.wgrad_queue:
+            # "W immediately after B": drain weight gradients before
+            # anything else (the unoptimized Figure 11 behavior).
+            op: OpId | None = state.wgrad_queue[0]
+        elif state.wgrad_queue and state.deferred_units > allowance + 1e-9:
+            # Deferred weight gradients exceed this stage's memory
+            # slack; retire one before advancing the pipeline.
+            op = state.wgrad_queue[0]
+        else:
+            # Steady state is one-forward-one-backward alternation, the
+            # rhythm of every published interleaved schedule: after an F
+            # prefer the next B, after a B refill the freed slot with an
+            # F (the cap bounds the warm-up depth).  Whichever kind is
+            # not ready yet falls back to the other.
+            if state.last_main is OpKind.F:
+                op = choose_b(state, now) or choose_f(state, now)
+            else:
+                op = choose_f(state, now) or choose_b(state, now)
+            if op is None and state.wgrad_queue:
+                # Gap filling (Section 5) — but only when no F/B is
+                # about to arrive within the GEMM's runtime, otherwise
+                # the non-preemptive W would push the critical path.
+                w = state.wgrad_queue[0]
+                horizon = now + 0.5 * cost.duration(w)
+                imminent = any(
+                    arr <= horizon
+                    for arr in itertools.chain(
+                        state.avail_f.values(), state.avail_b.values())
+                )
+                if not imminent:
+                    op = w
+        if op is not None:
+            commit(state, op, now)
+
+    return Schedule(
+        problem=problem,
+        programs=[StageProgram(stage=s.stage, ops=s.program) for s in states],
+        name=name,
+    )

@@ -1,0 +1,81 @@
+"""Megatron-LM-v2 interleaved virtual pipeline parallelism (VPP).
+
+The model is cut into ``v * p`` chunks; stage ``k`` hosts chunks
+``k, k+p, ..., k+(v-1)p``.  Micro-batches are processed in groups of
+``p``: each group runs through chunk round 0 on all stages, then round
+1, and so on.  The published algorithm (Narayanan et al., SC'21)
+prescribes the warm-up length ``min((p - k - 1) * 2 + (v - 1) * p,
+n*v)`` and the steady one-forward-one-backward alternation reproduced
+here.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+    StageProgram,
+)
+
+
+def _step_to_op(
+    problem: PipelineProblem, stage: int, step: int, backward: bool
+) -> OpId:
+    """Map the i-th virtual micro-batch step of a stage to an op.
+
+    Forward steps walk (group of ``p`` micro-batches) x (chunk rounds);
+    backward steps walk the same pattern with chunk rounds reversed.
+    """
+    p, v = problem.num_stages, problem.virtual_size
+    group, within = divmod(step, p * v)
+    rnd, mb_in_group = divmod(within, p)
+    if backward:
+        rnd = v - 1 - rnd
+    microbatch = group * p + mb_in_group
+    chunk = rnd * p + stage
+    kind = OpKind.B if backward else OpKind.F
+    return OpId(kind, microbatch, 0, chunk)
+
+
+def vpp_schedule(problem: PipelineProblem) -> Schedule:
+    """Interleaved 1F1B over ``v`` chunks per stage.
+
+    Requires ``n % p == 0`` (as Megatron-LM does) and whole-sample
+    micro-batches (``s == 1``).  The bubble ratio shrinks to
+    ``(p-1)/(p-1+n*v)`` but the first stage keeps roughly
+    ``v*p + p - 1`` chunk-forwards alive — the Table 3 memory of
+    ``(1 + (p-1)/(p*v)) * A``.
+    """
+    p, n, v = problem.num_stages, problem.num_microbatches, problem.virtual_size
+    if problem.num_slices != 1:
+        raise ScheduleError("VPP schedules whole micro-batches only")
+    if problem.split_backward:
+        raise ScheduleError("VPP uses a fused backward pass")
+    if v < 2:
+        raise ScheduleError("VPP requires virtual_size >= 2 (use DAPPLE for v=1)")
+    if n % p != 0:
+        raise ScheduleError(f"interleaved VPP requires n % p == 0, got n={n}, p={p}")
+    if problem.chunk_placement != "interleaved":
+        raise ScheduleError("VPP requires interleaved chunk placement")
+
+    total = n * v
+    programs = []
+    for stage in range(p):
+        warmup = min((p - stage - 1) * 2 + (v - 1) * p, total)
+        ops: list[OpId] = []
+        for i in range(warmup):
+            ops.append(_step_to_op(problem, stage, i, backward=False))
+        f_next, b_next = warmup, 0
+        while f_next < total:
+            ops.append(_step_to_op(problem, stage, f_next, backward=False))
+            ops.append(_step_to_op(problem, stage, b_next, backward=True))
+            f_next += 1
+            b_next += 1
+        while b_next < total:
+            ops.append(_step_to_op(problem, stage, b_next, backward=True))
+            b_next += 1
+        programs.append(StageProgram(stage=stage, ops=ops))
+    return Schedule(problem=problem, programs=programs, name="vpp")

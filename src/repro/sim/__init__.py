@@ -1,0 +1,18 @@
+"""Discrete-event pipeline simulator and cost models."""
+
+from repro.sim.cost import ClusterCost, CostModel, UniformCost
+from repro.sim.executor import OpRecord, SimResult, StageMetrics, simulate
+from repro.sim.network import Link, NetworkModel, simulate_with_network
+
+__all__ = [
+    "ClusterCost",
+    "CostModel",
+    "Link",
+    "NetworkModel",
+    "OpRecord",
+    "SimResult",
+    "StageMetrics",
+    "UniformCost",
+    "simulate",
+    "simulate_with_network",
+]

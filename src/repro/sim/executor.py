@@ -1,0 +1,192 @@
+"""Discrete-event replay of a pipeline schedule.
+
+Given a :class:`~repro.schedules.base.Schedule` and a cost model, the
+executor computes when every op runs, how long each stage idles
+(bubbles), and the peak activation memory each stage pins — the three
+quantities the paper's analysis and evaluation revolve around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+)
+from repro.sim.cost import CostModel
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """Timing of one executed op."""
+
+    op: OpId
+    stage: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class StageMetrics:
+    """Per-stage outcome of one simulated iteration."""
+
+    stage: int
+    busy_time: float = 0.0
+    peak_activation_units: float = 0.0
+    op_count: int = 0
+
+
+@dataclass
+class SimResult:
+    """Complete outcome of simulating one training iteration."""
+
+    schedule_name: str
+    problem: PipelineProblem
+    records: dict[OpId, OpRecord]
+    stages: list[StageMetrics]
+    makespan: float
+    overhead_time: float = 0.0
+
+    @property
+    def iteration_time(self) -> float:
+        """Schedule makespan plus iteration-level overheads (DP sync...)."""
+        return self.makespan + self.overhead_time
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Aggregate idle fraction: ``1 - busy / (p * makespan)``."""
+        if self.makespan <= 0:
+            return 0.0
+        busy = sum(s.busy_time for s in self.stages)
+        return 1.0 - busy / (len(self.stages) * self.makespan)
+
+    def stage_bubble_ratio(self, stage: int) -> float:
+        """Idle fraction of one stage over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return 1.0 - self.stages[stage].busy_time / self.makespan
+
+    @property
+    def peak_activation_units(self) -> float:
+        """Maximum over stages of pinned activation memory, in units of A."""
+        return max(s.peak_activation_units for s in self.stages)
+
+    def stage_records(self, stage: int) -> list[OpRecord]:
+        """Records of one stage in start-time order."""
+        out = [r for r in self.records.values() if r.stage == stage]
+        out.sort(key=lambda r: r.start)
+        return out
+
+
+@dataclass
+class _Ledger:
+    """Tracks pinned activation (and activation-gradient) memory.
+
+    An F op pins its activations until they are consumed: at B
+    completion for fused backward, or gradually over the op's W GEMMs
+    when the backward pass is split (each retired W GEMM releases its
+    share of both the activations and the activation gradients that B
+    materialized, sized ``actgrad_factor`` relative to the activations).
+    """
+
+    problem: PipelineProblem
+    actgrad_factor: float = 1.0
+    current: float = 0.0
+    peak: float = 0.0
+
+    def apply(self, op: OpId, units: float) -> None:
+        p = self.problem
+        if op.kind is OpKind.F:
+            self.current += units
+        elif op.kind is OpKind.B:
+            if p.split_backward:
+                self.current += units * self.actgrad_factor
+            else:
+                self.current -= units
+        else:
+            release = units * (1.0 + self.actgrad_factor) / p.wgrad_gemms
+            self.current -= release
+        self.peak = max(self.peak, self.current)
+
+
+def simulate(
+    schedule: Schedule,
+    cost: CostModel,
+    overhead_time: float = 0.0,
+    actgrad_factor: float = 1.0,
+) -> SimResult:
+    """Replay ``schedule`` under ``cost`` and collect metrics.
+
+    The replay is a list-scheduling fixed point: each stage executes its
+    program strictly in order; an op starts when the stage is free and
+    every dependency has completed (plus transfer time for cross-stage
+    edges).  Raises :class:`ScheduleError` on deadlock, which can only
+    happen if the schedule's per-stage orders are inconsistent with the
+    dependency graph.
+    """
+    problem = schedule.problem
+    num_stages = problem.num_stages
+    programs = [schedule.stage_ops(s) for s in range(num_stages)]
+    heads = [0] * num_stages
+    stage_time = [0.0] * num_stages
+    end_time: dict[OpId, float] = {}
+    records: dict[OpId, OpRecord] = {}
+    metrics = [StageMetrics(stage=s) for s in range(num_stages)]
+    ledgers = [
+        _Ledger(problem=problem, actgrad_factor=actgrad_factor)
+        for _ in range(num_stages)
+    ]
+
+    remaining = sum(len(p) for p in programs)
+    while remaining:
+        progressed = False
+        for stage in range(num_stages):
+            ops = programs[stage]
+            while heads[stage] < len(ops):
+                op = ops[heads[stage]]
+                deps = problem.deps(op)
+                if any(d not in end_time for d in deps):
+                    break
+                ready = 0.0
+                for d in deps:
+                    ready = max(ready, end_time[d] + cost.comm_time(d, op))
+                start = max(stage_time[stage], ready)
+                dur = cost.duration(op)
+                end = start + dur
+                records[op] = OpRecord(op=op, stage=stage, start=start, end=end)
+                end_time[op] = end
+                stage_time[stage] = end
+                m = metrics[stage]
+                m.busy_time += dur
+                m.op_count += 1
+                ledgers[stage].apply(op, cost.act_units(op))
+                heads[stage] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:
+            stuck = [
+                str(programs[s][heads[s]])
+                for s in range(num_stages)
+                if heads[s] < len(programs[s])
+            ]
+            raise ScheduleError(f"simulation deadlock; blocked heads: {stuck}")
+
+    for stage in range(num_stages):
+        metrics[stage].peak_activation_units = ledgers[stage].peak
+    makespan = max(stage_time) if stage_time else 0.0
+    return SimResult(
+        schedule_name=schedule.name,
+        problem=problem,
+        records=records,
+        stages=metrics,
+        makespan=makespan,
+        overhead_time=overhead_time,
+    )

@@ -1,0 +1,186 @@
+"""Chronological pipeline replay with queued link contention.
+
+The default executor charges each cross-stage edge a fixed transfer
+time (bandwidth derated by a static sharing factor).  This module
+replays a schedule *chronologically* with links as first-class
+resources: every cross-stage tensor becomes a transfer that queues
+FIFO on its link, so bursts of boundary messages — e.g. all slices of a
+micro-batch finishing close together — serialize the way a real NIC
+serializes them.
+
+Used to sanity-check the static model: the experiments' headline
+numbers hold under both (see ``tests/test_network_sim.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.schedules.base import OpId, Schedule, ScheduleError
+from repro.sim.executor import OpRecord, SimResult, StageMetrics, _Ledger
+
+
+@dataclass
+class Link:
+    """A serializing transfer resource between two stages.
+
+    Attributes:
+        bandwidth_bytes_per_s: Payload bandwidth available to this
+            pipeline's traffic (already divided by any sharing).
+        latency_s: Per-message latency.
+    """
+
+    bandwidth_bytes_per_s: float
+    latency_s: float = 10e-6
+    free_at: float = 0.0
+    bytes_carried: int = 0
+    transfers: int = 0
+    queue_delay: float = 0.0
+
+    def transfer(self, nbytes: int, ready: float) -> float:
+        """Schedule a transfer; returns its arrival time."""
+        start = max(ready, self.free_at)
+        self.queue_delay += start - ready
+        duration = self.latency_s + nbytes / self.bandwidth_bytes_per_s
+        self.free_at = start + duration
+        self.bytes_carried += nbytes
+        self.transfers += 1
+        return self.free_at
+
+
+@dataclass
+class NetworkModel:
+    """Links per directed stage pair plus per-edge payload sizes."""
+
+    links: dict[tuple[int, int], Link]
+    edge_bytes: float
+
+    @classmethod
+    def uniform(
+        cls,
+        num_stages: int,
+        bandwidth_bytes_per_s: float,
+        edge_bytes: float,
+        latency_s: float = 10e-6,
+        ring: bool = True,
+    ) -> "NetworkModel":
+        """One dedicated link per adjacent stage pair, both directions."""
+        links = {}
+        for a in range(num_stages):
+            for b in (a - 1, a + 1):
+                bb = b % num_stages if ring else b
+                if 0 <= bb < num_stages and bb != a:
+                    links[(a, bb)] = Link(bandwidth_bytes_per_s, latency_s)
+        return cls(links=links, edge_bytes=edge_bytes)
+
+    def link_for(self, src: int, dst: int) -> Link:
+        key = (src, dst)
+        if key not in self.links:
+            self.links[key] = Link(
+                next(iter(self.links.values())).bandwidth_bytes_per_s)
+        return self.links[key]
+
+    @property
+    def total_queue_delay(self) -> float:
+        return sum(link.queue_delay for link in self.links.values())
+
+
+def simulate_with_network(
+    schedule: Schedule,
+    cost,
+    network: NetworkModel,
+    overhead_time: float = 0.0,
+    actgrad_factor: float = 1.0,
+) -> SimResult:
+    """Replay ``schedule`` chronologically with queued transfers.
+
+    ``cost.duration`` provides compute times; cross-stage edges are
+    carried by ``network``'s links (``cost.comm_time`` is ignored).
+    Event order is strictly chronological, so link occupancy is
+    consistent.
+    """
+    problem = schedule.problem
+    num_stages = problem.num_stages
+    programs = [schedule.stage_ops(s) for s in range(num_stages)]
+    heads = [0] * num_stages
+    stage_free = [0.0] * num_stages
+    arrival: dict[tuple[OpId, OpId], float] = {}
+    end_time: dict[OpId, float] = {}
+    records: dict[OpId, OpRecord] = {}
+    metrics = [StageMetrics(stage=s) for s in range(num_stages)]
+    ledgers = [
+        _Ledger(problem=problem, actgrad_factor=actgrad_factor)
+        for _ in range(num_stages)
+    ]
+    dependents: dict[OpId, list[OpId]] = {}
+    for op in problem.all_ops():
+        for dep in problem.deps(op):
+            dependents.setdefault(dep, []).append(op)
+
+    counter = itertools.count()
+    events: list[tuple[float, int, int]] = [
+        (0.0, next(counter), s) for s in range(num_stages)
+    ]
+    remaining = sum(len(p) for p in programs)
+
+    def ready_time(op: OpId) -> float | None:
+        t = 0.0
+        for dep in problem.deps(op):
+            if dep not in end_time:
+                return None
+            if problem.is_cross_stage(dep, op):
+                key = (dep, op)
+                if key not in arrival:
+                    return None
+                t = max(t, arrival[key])
+            else:
+                t = max(t, end_time[dep])
+        return t
+
+    while remaining:
+        if not events:
+            raise ScheduleError("network replay deadlock")
+        now, _tie, stage = heapq.heappop(events)
+        if now + 1e-12 < stage_free[stage]:
+            continue
+        if heads[stage] >= len(programs[stage]):
+            continue
+        op = programs[stage][heads[stage]]
+        t = ready_time(op)
+        if t is None or t > now + 1e-12:
+            continue  # a later event will retry
+        start = max(stage_free[stage], t)
+        dur = cost.duration(op)
+        end = start + dur
+        end_time[op] = end
+        records[op] = OpRecord(op=op, stage=stage, start=start, end=end)
+        stage_free[stage] = end
+        metrics[stage].busy_time += dur
+        metrics[stage].op_count += 1
+        ledgers[stage].apply(op, cost.act_units(op))
+        heads[stage] += 1
+        remaining -= 1
+        heapq.heappush(events, (end, next(counter), stage))
+        for dependent in dependents.get(op, ()):
+            dst = problem.stage_of(dependent)
+            if dst == stage:
+                heapq.heappush(events, (end, next(counter), stage))
+                continue
+            link = network.link_for(stage, dst)
+            when = link.transfer(int(network.edge_bytes), end)
+            arrival[(op, dependent)] = when
+            heapq.heappush(events, (when, next(counter), dst))
+
+    for stage in range(num_stages):
+        metrics[stage].peak_activation_units = ledgers[stage].peak
+    makespan = max(stage_free)
+    return SimResult(
+        schedule_name=schedule.name + "+network",
+        problem=problem,
+        records=records,
+        stages=metrics,
+        makespan=makespan,
+        overhead_time=overhead_time,
+    )

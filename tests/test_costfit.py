@@ -1,0 +1,75 @@
+"""Tests for cost-model fitting from profiled measurements."""
+
+import pytest
+
+from repro.hardware.efficiency import EfficiencyModel
+from repro.model import LLAMA_7B, LLAMA_13B
+from repro.planner import (
+    fit_efficiency_curve,
+    observations_from_slices,
+    synthetic_observations,
+)
+
+
+class TestFitRecovery:
+    def test_exact_recovery_without_noise(self):
+        truth = EfficiencyModel(max_gemm_efficiency=0.8,
+                                max_attention_efficiency=0.8,
+                                half_saturation_tokens=32.0)
+        obs = synthetic_observations(LLAMA_13B, truth, 165e12)
+        fit = fit_efficiency_curve(obs)
+        assert fit.half_saturation_tokens == 32.0
+        assert fit.peak_flops == pytest.approx(0.8 * 165e12, rel=1e-6)
+        assert fit.residual < 1e-9
+
+    def test_robust_to_noise(self):
+        truth = EfficiencyModel(max_gemm_efficiency=0.88,
+                                max_attention_efficiency=0.88,
+                                half_saturation_tokens=64.0)
+        obs = synthetic_observations(LLAMA_13B, truth, 165e12,
+                                     noise=0.03, seed=4)
+        fit = fit_efficiency_curve(obs)
+        assert fit.half_saturation_tokens in (32.0, 64.0, 128.0)
+        assert fit.peak_flops == pytest.approx(0.88 * 165e12, rel=0.05)
+
+    def test_prediction_interpolates(self):
+        truth = EfficiencyModel(max_gemm_efficiency=0.8,
+                                max_attention_efficiency=0.8,
+                                half_saturation_tokens=64.0)
+        obs = synthetic_observations(LLAMA_7B, truth, 165e12,
+                                     slice_counts=(1, 4, 8))
+        fit = fit_efficiency_curve(obs)
+        # Predict an unseen slice size (s=2 -> 2048 tokens).
+        from repro.model.flops import layer_slice_flops
+        flops = layer_slice_flops(LLAMA_7B, 2048, 0).forward
+        predicted = fit.predict_seconds(flops, 2048)
+        actual = flops / (165e12 * truth.gemm(2048))
+        assert predicted == pytest.approx(actual, rel=0.02)
+
+    def test_as_efficiency_model_round_trip(self):
+        truth = EfficiencyModel(max_gemm_efficiency=0.75,
+                                max_attention_efficiency=0.75,
+                                half_saturation_tokens=64.0)
+        obs = synthetic_observations(LLAMA_13B, truth, 200e12)
+        model = fit_efficiency_curve(obs).as_efficiency_model(200e12)
+        assert model.max_gemm_efficiency == pytest.approx(0.75, rel=0.01)
+
+
+class TestValidation:
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            fit_efficiency_curve([(1e12, 1024, 0.01)])
+
+    def test_needs_two_token_counts(self):
+        obs = [(1e12, 1024, 0.01), (2e12, 1024, 0.02)]
+        with pytest.raises(ValueError, match="distinct"):
+            fit_efficiency_curve(obs)
+
+    def test_observations_from_slices(self):
+        obs = observations_from_slices(
+            LLAMA_7B, {(1024, 0): 0.01, (1024, 1024): 0.012})
+        assert len(obs) == 2
+        # The later slice has more attention FLOPs.
+        assert obs[1][0] > obs[0][0] or obs[0][0] > obs[1][0]
+        flops = sorted(o[0] for o in obs)
+        assert flops[1] > flops[0]

@@ -1,0 +1,84 @@
+"""Tests for repro.model.memory."""
+
+import pytest
+
+from repro.model import (
+    GiB,
+    LLAMA_13B,
+    LLAMA_34B,
+    activation_bytes_per_token_per_layer,
+    budget_for,
+    sample_activation_bytes,
+    static_bytes_per_device,
+    temporary_bytes,
+)
+
+
+class TestActivationModel:
+    def test_recompute_keeps_only_layer_input(self):
+        spec = LLAMA_13B
+        full = activation_bytes_per_token_per_layer(spec)
+        recomp = activation_bytes_per_token_per_layer(spec, recompute=True)
+        assert recomp == 2 * spec.hidden_size
+        # Section 7.3: recomputation reduces activation memory by ~90%.
+        assert recomp / full < 0.10
+
+    def test_sample_activation_scale_13b(self):
+        # One 4096-token sample through 38 layers: tens of GiB; this is
+        # why 24 GB cards cannot train without partitioning activations.
+        a = sample_activation_bytes(LLAMA_13B)
+        assert 15 * GiB < a < 35 * GiB
+
+    def test_activation_grows_with_model(self):
+        assert sample_activation_bytes(LLAMA_34B) > sample_activation_bytes(LLAMA_13B)
+
+
+class TestStaticModel:
+    def test_34b_optimizer_anchor(self):
+        """Section 7.4: optimizer ~6.375 GB/worker; params+grads 34*4/p GB."""
+        m = LLAMA_34B.total_params()
+        static = static_bytes_per_device(LLAMA_34B, pipeline_stages=16, total_devices=64)
+        optimizer = m * 12 // 64
+        assert optimizer == pytest.approx(6.375e9 * (m / 34e9), rel=0.01)
+        params_grads = static - optimizer
+        assert params_grads == pytest.approx(m * 4 / 16, rel=0.01)
+
+    def test_more_stages_less_static(self):
+        s8 = static_bytes_per_device(LLAMA_13B, 8, 64)
+        s16 = static_bytes_per_device(LLAMA_13B, 16, 64)
+        assert s16 < s8
+
+    def test_fp32_grad_accum_adds_memory(self):
+        lean = static_bytes_per_device(LLAMA_13B, 8, 64)
+        fat = static_bytes_per_device(LLAMA_13B, 8, 64, fp32_grad_accum=True)
+        assert fat > lean
+
+
+class TestBudget:
+    def test_34b_pp16_leaves_about_5gb(self):
+        """Section 7.4: with PP=16 on 24 GB cards, roughly 5 GB are left
+        for activations (we land at the generous end of 'around 5')."""
+        budget = budget_for(
+            LLAMA_34B,
+            capacity_bytes=24 * GiB,
+            pipeline_stages=16,
+            total_devices=64,
+            micro_batch_tokens=4096 // 16,
+        )
+        left = budget.available_for_activations
+        assert 4 * GiB < left < 8.5 * GiB
+
+    def test_infeasible_budget_goes_negative(self):
+        budget = budget_for(
+            LLAMA_34B,
+            capacity_bytes=24 * GiB,
+            pipeline_stages=4,
+            total_devices=64,
+            micro_batch_tokens=4096,
+        )
+        assert budget.available_for_activations < 0
+
+    def test_last_stage_pays_for_logits(self):
+        last = temporary_bytes(LLAMA_13B, 4096, is_last_stage=True)
+        mid = temporary_bytes(LLAMA_13B, 4096, is_last_stage=False)
+        assert last > mid

@@ -1,0 +1,90 @@
+"""Property-based tests across the analytical layers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    LLAMA_13B,
+    attention_score_flops,
+    layer_slice_flops,
+    sample_activation_bytes,
+    static_bytes_per_device,
+)
+from repro.schedules import analyze
+
+powers = st.sampled_from([1, 2, 4, 8, 16])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=4096))
+def test_attention_flops_monotone_in_offset(tokens, offset):
+    later = attention_score_flops(LLAMA_13B, tokens, offset + 128)
+    earlier = attention_score_flops(LLAMA_13B, tokens, offset)
+    assert later >= earlier
+
+
+@settings(max_examples=50, deadline=None)
+@given(powers)
+def test_slicing_conserves_flops(s):
+    """Cutting a sample into slices never creates or destroys FLOPs."""
+    spec = LLAMA_13B
+    t = spec.seq_length // s
+    full = layer_slice_flops(spec, spec.seq_length, 0)
+    parts = [layer_slice_flops(spec, t, i * t) for i in range(s)]
+    assert sum(p.forward for p in parts) == full.forward
+    assert sum(p.backward_wgrad for p in parts) == full.backward_wgrad
+    assert sum(p.backward_dgrad for p in parts) == full.backward_dgrad
+
+
+@settings(max_examples=40, deadline=None)
+@given(powers, powers)
+def test_static_memory_antitone_in_shards(p1, p2):
+    if p1 > p2:
+        p1, p2 = p2, p1
+    more = static_bytes_per_device(LLAMA_13B, p1, 64)
+    fewer = static_bytes_per_device(LLAMA_13B, p2, 64)
+    assert fewer <= more
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=2, max_value=16),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=4),
+       st.sampled_from(["dapple", "gpipe", "terapipe", "svpp"]))
+def test_closed_forms_are_valid_fractions(p, n, s, v, method):
+    if method in ("dapple", "gpipe"):
+        s = v = 1
+    if method == "terapipe":
+        v = 1
+    result = analyze(method, p, n, s=s, v=v)
+    assert 0.0 <= result.bubble_ratio < 1.0
+    assert 0.0 < result.memory_units <= max(n / p, n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(powers, st.integers(min_value=1, max_value=64))
+def test_svpp_memory_never_exceeds_dapple(s, n):
+    p = 8
+    svpp = analyze("svpp", p, n, s=s)
+    dapple = analyze("dapple", p, n)
+    assert svpp.memory_units <= dapple.memory_units + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=32),
+       st.integers(min_value=1, max_value=128))
+def test_svpp_bubble_improves_with_slices(p, n):
+    prev = 1.0
+    for s in (1, 2, 4, 8, 16):
+        bubble = analyze("svpp", p, n, s=s).bubble_ratio
+        assert bubble <= prev + 1e-12
+        prev = bubble
+
+
+def test_recompute_activation_cut():
+    full = sample_activation_bytes(LLAMA_13B)
+    lean = sample_activation_bytes(LLAMA_13B, recompute=True)
+    assert lean / full == pytest.approx(0.06, abs=0.03)

@@ -1,0 +1,78 @@
+"""Tests for the queued-link network replay."""
+
+import pytest
+
+from repro.schedules import build_problem, build_schedule
+from repro.sim import UniformCost, simulate
+from repro.sim.network import Link, NetworkModel, simulate_with_network
+
+
+def setup(method="mepipe", p=4, n=8, **kw):
+    problem = build_problem(method, p, n, **kw)
+    schedule = build_schedule(method, problem)
+    cost = UniformCost(problem, tf=0.1, tb=0.2, tw=0.1)
+    return problem, schedule, cost
+
+
+class TestLink:
+    def test_back_to_back_transfers_serialize(self):
+        link = Link(bandwidth_bytes_per_s=1e6, latency_s=0.0)
+        first = link.transfer(1_000_000, ready=0.0)
+        second = link.transfer(1_000_000, ready=0.0)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+        assert link.queue_delay == pytest.approx(1.0)
+
+    def test_idle_link_no_queueing(self):
+        link = Link(bandwidth_bytes_per_s=1e6)
+        link.transfer(1000, ready=0.0)
+        link.transfer(1000, ready=10.0)
+        assert link.queue_delay == 0.0
+
+
+class TestNetworkReplay:
+    def test_infinite_bandwidth_matches_zero_comm_executor(self):
+        problem, schedule, cost = setup(num_slices=2, wgrad_gemms=2)
+        base = simulate(schedule, cost)
+        net = NetworkModel.uniform(4, 1e15, edge_bytes=1e6, latency_s=0.0)
+        replay = simulate_with_network(schedule, cost, net)
+        assert replay.makespan == pytest.approx(base.makespan, rel=1e-6)
+        assert replay.bubble_ratio == pytest.approx(base.bubble_ratio, abs=1e-6)
+
+    def test_slow_links_stretch_makespan(self):
+        problem, schedule, cost = setup(num_slices=2, wgrad_gemms=2)
+        fast = simulate_with_network(
+            schedule, cost, NetworkModel.uniform(4, 1e12, edge_bytes=10e6))
+        slow = simulate_with_network(
+            schedule, cost, NetworkModel.uniform(4, 1e8, edge_bytes=10e6))
+        assert slow.makespan > fast.makespan
+
+    def test_contention_emerges_from_bursts(self):
+        """Slicing quadruples message count; on a slow link the queueing
+        delay becomes visible."""
+        _p, schedule, cost = setup(num_slices=4, wgrad_gemms=2, n=16, p=8)
+        net = NetworkModel.uniform(8, 2e8, edge_bytes=10e6)
+        simulate_with_network(schedule, cost, net)
+        assert net.total_queue_delay > 0.0
+
+    def test_transfer_accounting(self):
+        problem, schedule, cost = setup(method="dapple", p=4, n=4)
+        net = NetworkModel.uniform(4, 1e9, edge_bytes=1e6)
+        simulate_with_network(schedule, cost, net)
+        transfers = sum(link.transfers for link in net.links.values())
+        # n micro-batches cross p-1 boundaries forward and backward.
+        assert transfers == 4 * 3 * 2
+
+    def test_memory_ledger_matches_executor(self):
+        problem, schedule, cost = setup(method="svpp", num_slices=2)
+        base = simulate(schedule, cost)
+        replay = simulate_with_network(
+            schedule, cost, NetworkModel.uniform(4, 1e12, edge_bytes=1e6))
+        assert replay.peak_activation_units == pytest.approx(
+            base.peak_activation_units)
+
+    def test_all_ops_executed(self):
+        problem, schedule, cost = setup(num_slices=2, wgrad_gemms=3)
+        replay = simulate_with_network(
+            schedule, cost, NetworkModel.uniform(4, 1e9, edge_bytes=1e6))
+        assert len(replay.records) == len(problem.all_ops())

@@ -1,0 +1,54 @@
+"""Tests for the network-validation, scaling, and section-9 experiments."""
+
+import pytest
+
+from repro.experiments import REGISTRY, network, scaling, section9
+
+
+class TestNetworkValidation:
+    def test_static_model_tracks_queued_replay(self):
+        report = network.run()
+        for row in report.rows:
+            delta = abs(float(row[3].rstrip("%").lstrip("+")))
+            assert delta < 5.0, row
+
+    def test_all_methods_present(self):
+        report = network.run()
+        assert [r[0] for r in report.rows] == ["mepipe", "dapple", "zb"]
+
+
+class TestScaling:
+    def test_mepipe_wins_at_every_scale(self):
+        report = scaling.run()
+        for row in report.rows:
+            assert float(row[4].rstrip("x")) > 1.3
+
+    def test_mfu_declines_with_scale_for_both(self):
+        report = scaling.run()
+        zb = [float(r[2].rstrip("%")) for r in report.rows]
+        mepipe = [float(r[3].rstrip("%")) for r in report.rows]
+        assert zb == sorted(zb, reverse=True)
+        assert mepipe == sorted(mepipe, reverse=True)
+        # ...but MEPipe keeps a large absolute lead everywhere.
+        for z, m in zip(zb, mepipe):
+            assert m - z > 8.0
+
+
+class TestSection9Reports:
+    def test_reliability_scenarios_ordered(self):
+        report = section9.run_reliability()
+        overheads = [float(c.rstrip("%")) for c in report.column("overhead")]
+        assert overheads == sorted(overheads, reverse=True)
+        assert overheads[1] < 5.0
+
+    def test_tco_parity_at_paper_price(self):
+        report = section9.run_tco()
+        parity = float(report.rows[1][3].split()[0])
+        assert parity == pytest.approx(24.0, abs=5.0)
+
+
+class TestRegistryComplete:
+    def test_extension_experiments_registered(self):
+        for key in ("abl-partition", "sec9-reliability", "sec9-tco",
+                    "net-validate", "scaling"):
+            assert key in REGISTRY

@@ -1,0 +1,154 @@
+"""Tests for the primitive ops: hand-checked values + finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+rng = np.random.default_rng(42)
+
+
+def fd_grad(f, x, eps=1e-6):
+    """Central finite differences of a scalar function of an array."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        x[idx] += eps
+        up = f()
+        x[idx] -= 2 * eps
+        down = f()
+        x[idx] += eps
+        g[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestLinear:
+    def test_shapes(self):
+        x = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(4, 5))
+        assert F.linear(x, w).shape == (2, 3, 5)
+
+    def test_dgrad_wgrad_consistency(self):
+        x = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(4, 5))
+        dy = rng.normal(size=(2, 3, 5))
+        loss = lambda: float(np.sum(F.linear(x, w) * dy))
+        assert np.allclose(F.linear_dgrad(dy, w), fd_grad(loss, x), atol=1e-6)
+        assert np.allclose(F.linear_wgrad(x, dy), fd_grad(loss, w), atol=1e-6)
+
+
+class TestRMSNorm:
+    def test_unit_scale_preserves_rms(self):
+        x = rng.normal(size=(2, 8))
+        y, _unused = F.rmsnorm(x, np.ones(8))
+        assert np.allclose(np.sqrt(np.mean(y * y, axis=-1)), 1.0, atol=1e-3)
+
+    def test_gradients(self):
+        x = rng.normal(size=(2, 6))
+        g = rng.normal(size=6)
+        dy = rng.normal(size=(2, 6))
+        loss = lambda: float(np.sum(F.rmsnorm(x, g)[0] * dy))
+        out, inv = F.rmsnorm(x, g)
+        assert np.allclose(F.rmsnorm_dgrad(dy, x, g, inv), fd_grad(loss, x),
+                           atol=1e-6)
+        assert np.allclose(F.rmsnorm_wgrad(dy, x, inv), fd_grad(loss, g),
+                           atol=1e-6)
+
+
+class TestSiLU:
+    def test_values(self):
+        assert F.silu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert F.silu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_gradient(self):
+        x = rng.normal(size=7)
+        dy = rng.normal(size=7)
+        loss = lambda: float(np.sum(F.silu(x) * dy))
+        assert np.allclose(F.silu_dgrad(dy, x), fd_grad(loss, x), atol=1e-6)
+
+
+class TestRoPE:
+    def test_rotation_preserves_norm(self):
+        x = rng.normal(size=(1, 2, 5, 8))
+        cos, sin = F.rope_angles(8, np.arange(5))
+        y = F.rope_apply(x, cos, sin)
+        assert np.allclose(np.linalg.norm(y, axis=-1), np.linalg.norm(x, axis=-1))
+
+    def test_unapply_inverts(self):
+        x = rng.normal(size=(1, 2, 5, 8))
+        cos, sin = F.rope_angles(8, np.arange(3, 8))
+        y = F.rope_unapply(F.rope_apply(x, cos, sin), cos, sin)
+        assert np.allclose(y, x)
+
+    def test_position_zero_is_identity(self):
+        x = rng.normal(size=(1, 1, 1, 4))
+        cos, sin = F.rope_angles(4, np.array([0]))
+        assert np.allclose(F.rope_apply(x, cos, sin), x)
+
+
+class TestAttention:
+    def test_causality(self):
+        """Changing a future token cannot affect earlier outputs."""
+        q = rng.normal(size=(1, 2, 4, 8))
+        k = rng.normal(size=(1, 2, 4, 8))
+        v = rng.normal(size=(1, 2, 4, 8))
+        out1, _unused = F.attention_slice(q, k, v, offset=0)
+        k2, v2 = k.copy(), v.copy()
+        k2[:, :, 3] += 1.0
+        v2[:, :, 3] -= 2.0
+        out2, _unused = F.attention_slice(q, k2, v2, offset=0)
+        assert np.allclose(out1[:, :, :3], out2[:, :, :3])
+        assert not np.allclose(out1[:, :, 3], out2[:, :, 3])
+
+    def test_slice_equals_full(self):
+        """Sliced attention with a KV prefix equals full attention."""
+        t, half = 6, 3
+        q = rng.normal(size=(1, 2, t, 8))
+        k = rng.normal(size=(1, 2, t, 8))
+        v = rng.normal(size=(1, 2, t, 8))
+        full, _unused = F.attention_slice(q, k, v, offset=0)
+        first, _unused = F.attention_slice(q[:, :, :half], k[:, :, :half],
+                                           v[:, :, :half], offset=0)
+        second, _unused = F.attention_slice(q[:, :, half:], k, v, offset=half)
+        assert np.allclose(np.concatenate([first, second], axis=2), full)
+
+    def test_dgrad_finite_differences(self):
+        q = rng.normal(size=(1, 1, 2, 4))
+        k = rng.normal(size=(1, 1, 3, 4))
+        v = rng.normal(size=(1, 1, 3, 4))
+        dout = rng.normal(size=(1, 1, 2, 4))
+
+        def loss():
+            out, _unused = F.attention_slice(q, k, v, offset=1)
+            return float(np.sum(out * dout))
+
+        out, probs = F.attention_slice(q, k, v, offset=1)
+        dq, dk, dv = F.attention_slice_dgrad(dout, q, k, v, probs)
+        assert np.allclose(dq, fd_grad(loss, q), atol=1e-6)
+        assert np.allclose(dk, fd_grad(loss, k), atol=1e-6)
+        assert np.allclose(dv, fd_grad(loss, v), atol=1e-6)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss(self):
+        v = 8
+        logits = np.zeros((1, 3, v))
+        targets = np.array([[1, 2, 3]])
+        loss, _unused = F.cross_entropy(logits, targets, loss_scale=1 / 3)
+        assert loss == pytest.approx(np.log(v))
+
+    def test_gradient_sums_to_zero_rows(self):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        _unused, dlogits = F.cross_entropy(logits, targets, loss_scale=0.5)
+        assert np.allclose(dlogits.sum(axis=-1), 0.0, atol=1e-12)
+
+    def test_gradient_finite_differences(self):
+        logits = rng.normal(size=(1, 2, 4))
+        targets = np.array([[0, 3]])
+        scale = 1 / 2
+        loss = lambda: F.cross_entropy(logits, targets, scale)[0]
+        _unused, dlogits = F.cross_entropy(logits, targets, scale)
+        assert np.allclose(dlogits, fd_grad(loss, logits), atol=1e-6)

@@ -1,0 +1,132 @@
+"""Tests of the model substrate: slice invariance, W-split exactness."""
+
+import numpy as np
+import pytest
+
+from repro.data import token_batches
+from repro.model import tiny_spec
+from repro.nn import Adam, build_model, sequential_step
+
+SPEC = tiny_spec(hidden_size=32, num_layers=3, num_heads=4,
+                 ffn_hidden_size=64, vocab_size=23, seq_length=12)
+
+
+def data(n=2, b=2, seed=0):
+    return token_batches(SPEC.vocab_size, n, b, SPEC.seq_length, seed=seed)
+
+
+class TestBuild:
+    def test_component_count_matches_balanced_slots(self):
+        model = build_model(SPEC)
+        assert len(model.components) == SPEC.balanced_layer_count()
+
+    def test_deterministic_init(self):
+        a, b = build_model(SPEC, seed=3), build_model(SPEC, seed=3)
+        for k, v in a.named_params().items():
+            assert np.array_equal(v, b.named_params()[k])
+
+    def test_different_seeds_differ(self):
+        a, b = build_model(SPEC, seed=3), build_model(SPEC, seed=4)
+        assert not np.array_equal(a.named_params()["1.wq"],
+                                  b.named_params()["1.wq"])
+
+    def test_gqa_parameter_shapes(self):
+        from repro.model import ModelSpec
+        gqa = ModelSpec(name="gqa", hidden_size=32, num_layers=2, num_heads=4,
+                        num_kv_heads=2, ffn_hidden_size=64)
+        model = build_model(gqa)
+        layer = model.components[1]
+        assert layer.params["wk"].shape == (32, 16)  # 2 kv heads x 8 dim
+        assert layer.params["wq"].shape == (32, 32)
+
+    def test_partition_balanced(self):
+        model = build_model(SPEC)  # 5 components
+        chunks = model.partition(2)
+        assert [len(c) for c in chunks] == [3, 2]
+        with pytest.raises(ValueError):
+            model.partition(10)
+
+
+class TestSliceInvariance:
+    def test_loss_independent_of_slicing(self):
+        tokens, targets = data()
+        losses = []
+        for s in (1, 2, 3, 4):
+            model = build_model(SPEC, seed=7)
+            losses.append(sequential_step(model, tokens, targets, num_slices=s))
+        for loss in losses[1:]:
+            assert loss == pytest.approx(losses[0], abs=1e-12)
+
+    def test_gradients_independent_of_slicing(self):
+        """The KV-cache slice execution is exact, not approximate."""
+        tokens, targets = data()
+        ref = build_model(SPEC, seed=7)
+        sequential_step(ref, tokens, targets, num_slices=1)
+        ref_grads = ref.named_grads()
+        for s in (2, 4, 6):
+            model = build_model(SPEC, seed=7)
+            sequential_step(model, tokens, targets, num_slices=s)
+            for k, v in model.named_grads().items():
+                assert np.allclose(v, ref_grads[k], atol=1e-13), k
+
+    def test_indivisible_slicing_rejected(self):
+        tokens, targets = data()
+        with pytest.raises(ValueError):
+            sequential_step(build_model(SPEC), tokens, targets, num_slices=5)
+
+
+class TestLossQuality:
+    def test_initial_loss_near_log_vocab(self):
+        tokens, targets = data()
+        model = build_model(SPEC, seed=1)
+        loss = sequential_step(model, tokens, targets)
+        assert loss == pytest.approx(np.log(SPEC.vocab_size), rel=0.25)
+
+    def test_adam_training_reduces_loss(self):
+        tokens, targets = data(n=2, b=2, seed=9)
+        model = build_model(SPEC, seed=2)
+        optimizer = Adam(model, lr=3e-3)
+        first = sequential_step(model, tokens, targets)
+        optimizer.step()
+        losses = [first]
+        for _unused in range(8):
+            losses.append(sequential_step(model, tokens, targets))
+            optimizer.step()
+        assert losses[-1] < 0.8 * losses[0]
+
+    def test_adam_zeroes_grads(self):
+        tokens, targets = data()
+        model = build_model(SPEC, seed=2)
+        optimizer = Adam(model)
+        sequential_step(model, tokens, targets)
+        optimizer.step()
+        assert all(np.all(g == 0) for g in model.named_grads().values())
+
+
+class TestWgradDeferral:
+    def test_deferred_wgrad_equals_immediate(self):
+        """Running all W GEMMs at the very end (maximal deferral)
+        produces identical gradients — the MEPipe soundness property."""
+        tokens, targets = data()
+        ref = build_model(SPEC, seed=7)
+        sequential_step(ref, tokens, targets, num_slices=2)
+
+        model = build_model(SPEC, seed=7)
+        model.head.loss_scale = 1.0 / tokens.size
+        deferred = []
+        for mb in range(tokens.shape[0]):
+            t = SPEC.seq_length // 2
+            for sl in range(2):
+                model.head.set_targets(mb, sl, targets[mb, :, sl*t:(sl+1)*t])
+                x = tokens[mb, :, sl*t:(sl+1)*t]
+                for comp in model.components:
+                    x = comp.forward(mb, sl, x)
+            for sl in reversed(range(2)):
+                dy = None
+                for comp in reversed(model.components):
+                    dy = comp.backward(mb, sl, dy)
+                    deferred.extend(comp.pop_wgrad_tasks(mb, sl))
+        for task in deferred:
+            task()
+        for k, v in model.named_grads().items():
+            assert np.allclose(v, ref.named_grads()[k], atol=1e-13), k

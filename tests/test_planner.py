@@ -1,0 +1,122 @@
+"""Tests for the planner: evaluation, variant selection, grid search."""
+
+import pytest
+
+from repro.hardware import A100_CLUSTER, RTX4090_CLUSTER
+from repro.model import GiB, LLAMA_13B, LLAMA_34B, LLAMA_7B
+from repro.parallel import ParallelConfig
+from repro.planner import evaluate_config, search_method, select_variant
+from repro.planner.search import SearchResult
+
+
+class TestEvaluateConfig:
+    def test_paper_optimum_13b(self):
+        """The Table 5 MEPipe config hits the paper's ballpark."""
+        result = evaluate_config(
+            "mepipe", LLAMA_13B, RTX4090_CLUSTER,
+            ParallelConfig(dp=8, pp=8, spp=4), 128)
+        assert not result.oom
+        # Paper Table 9: 5852 ms, 116 TFLOPS, 35% MFU.
+        assert result.iteration_time_s == pytest.approx(5.852, rel=0.10)
+        assert result.mfu == pytest.approx(0.35, abs=0.04)
+
+    def test_zb_oom_at_cp2(self):
+        """Section 7.2: ZB runs out of memory at PP=8, CP=2."""
+        result = evaluate_config(
+            "zb", LLAMA_13B, RTX4090_CLUSTER,
+            ParallelConfig(dp=4, pp=8, cp=2), 128)
+        assert result.oom
+
+    def test_dapple_fits_at_cp2(self):
+        """...while DAPPLE fits in the same configuration."""
+        result = evaluate_config(
+            "dapple", LLAMA_13B, RTX4090_CLUSTER,
+            ParallelConfig(dp=4, pp=8, cp=2), 128)
+        assert not result.oom
+
+    def test_invalid_device_count_raises(self):
+        with pytest.raises(ValueError, match="cluster size"):
+            evaluate_config("dapple", LLAMA_13B, RTX4090_CLUSTER,
+                            ParallelConfig(dp=2, pp=8), 128)
+
+    def test_zbv_fixed_vp_validated(self):
+        """ZBV's implicit v=2 must satisfy chunk divisibility: 40 slots
+        cannot split into 8*2 chunks... they can (16 divides 40? no).
+        pp=8 with zbv means 16 chunks over 40 slots -> invalid."""
+        with pytest.raises(ValueError, match="chunks"):
+            evaluate_config("zbv", LLAMA_13B, RTX4090_CLUSTER,
+                            ParallelConfig(dp=4, pp=8, cp=2), 128)
+
+    def test_recompute_shrinks_activation_footprint(self):
+        base = evaluate_config("dapple", LLAMA_13B, RTX4090_CLUSTER,
+                               ParallelConfig(dp=4, pp=8, cp=2), 64)
+        rc = evaluate_config("dapple", LLAMA_13B, RTX4090_CLUSTER,
+                             ParallelConfig(dp=4, pp=8, cp=2, recompute=True), 64)
+        assert rc.activation_bytes < 0.2 * base.activation_bytes
+        assert rc.iteration_time_s > base.iteration_time_s  # 33% extra compute
+
+    def test_a100_tp_config(self):
+        result = evaluate_config(
+            "dapple", LLAMA_13B, A100_CLUSTER,
+            ParallelConfig(dp=4, pp=2, tp=4), 128)
+        assert not result.oom
+        assert result.mfu > 0.5  # NVLink TP keeps A100s busy
+
+    def test_describe_mentions_oom(self):
+        result = evaluate_config(
+            "zb", LLAMA_13B, RTX4090_CLUSTER,
+            ParallelConfig(dp=4, pp=8, cp=2), 128)
+        assert "OOM" in result.describe()
+
+
+class TestVariantSelection:
+    def _cost(self, spp=16, pp=16):
+        from repro.schedules.svpp import svpp_problem
+        from repro.sim.cost import ClusterCost
+
+        config = ParallelConfig(dp=64 // pp, pp=pp, spp=spp)
+        problem = svpp_problem(pp, 8, spp)
+        return problem, ClusterCost(
+            spec=LLAMA_34B, config=config, cluster=RTX4090_CLUSTER,
+            problem=problem)
+
+    def test_rich_budget_returns_none(self):
+        problem, cost = self._cost()
+        assert select_variant(problem, cost, 10**13) is None
+
+    def test_tight_budget_clamps_to_minimum(self):
+        problem, cost = self._cost()
+        f = select_variant(problem, cost, 1)
+        assert f == problem.virtual_size * problem.num_slices
+
+    def test_intermediate_budget_scales(self):
+        problem, cost = self._cost()
+        per_op = cost.activation_bytes_per_unit() * problem.activation_units_per_op
+        f = select_variant(problem, cost, int(20.5 * per_op))
+        assert f == 20
+
+    def test_34b_variant_fits_24gb(self):
+        """Section 7.4: s=16 gives a variant that satisfies the limit."""
+        result = evaluate_config(
+            "mepipe", LLAMA_34B, RTX4090_CLUSTER,
+            ParallelConfig(dp=4, pp=16, spp=16), 128)
+        assert not result.oom
+        assert result.peak_memory_bytes < 24 * GiB
+
+
+class TestSearch:
+    def test_search_finds_paper_dapple_optimum(self):
+        result = search_method("dapple", LLAMA_13B, RTX4090_CLUSTER, 128)
+        assert result.best is not None
+        cfg = result.best.config
+        assert (cfg.pp, cfg.cp, cfg.vp, cfg.recompute) == (8, 2, 1, False)
+
+    def test_search_respects_method_traits(self):
+        result = search_method("mepipe", LLAMA_13B, RTX4090_CLUSTER, 64)
+        assert result.best is not None
+        assert result.best.config.cp == 1  # MEPipe replaces CP with SPP
+        assert not result.best.config.recompute
+
+    def test_search_result_reports_all_oom(self):
+        empty = SearchResult(method="x", best=None, evaluated=[])
+        assert not empty.all_oom  # nothing evaluated at all

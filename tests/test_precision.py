@@ -1,0 +1,115 @@
+"""Tests for mixed-precision utilities (loss scaling, grad shrink)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.precision import (
+    GradNormClipper,
+    LossScaler,
+    has_overflow,
+    shrink_embedding_gradients,
+)
+
+
+def grads(values):
+    return {"w": np.array(values, dtype=float)}
+
+
+class TestOverflowDetection:
+    def test_clean(self):
+        assert not has_overflow(grads([1.0, -2.0]))
+
+    def test_inf_and_nan(self):
+        assert has_overflow(grads([1.0, np.inf]))
+        assert has_overflow(grads([np.nan]))
+
+
+class TestLossScaler:
+    def test_scales_loss(self):
+        scaler = LossScaler(scale=1024.0)
+        assert scaler.scale_loss(2.0) == 2048.0
+
+    def test_unscale_divides(self):
+        scaler = LossScaler(scale=8.0)
+        g = grads([8.0, 16.0])
+        assert scaler.unscale_and_check(g)
+        assert np.allclose(g["w"], [1.0, 2.0])
+
+    def test_overflow_skips_and_backs_off(self):
+        scaler = LossScaler(scale=1024.0)
+        g = grads([np.inf])
+        assert not scaler.unscale_and_check(g)
+        assert scaler.scale == 512.0
+        assert scaler.skipped_steps == 1
+        assert np.all(g["w"] == 0.0)
+
+    def test_growth_after_clean_interval(self):
+        scaler = LossScaler(scale=4.0, growth_interval=3)
+        for _step in range(3):
+            assert scaler.unscale_and_check(grads([1.0]))
+        assert scaler.scale == 8.0
+
+    def test_overflow_resets_growth_counter(self):
+        scaler = LossScaler(scale=4.0, growth_interval=2)
+        scaler.unscale_and_check(grads([1.0]))
+        scaler.unscale_and_check(grads([np.inf]))
+        scaler.unscale_and_check(grads([1.0]))
+        assert scaler.scale == 2.0  # backed off, no growth yet
+
+    def test_scale_bounds(self):
+        scaler = LossScaler(scale=1.0, min_scale=1.0)
+        scaler.unscale_and_check(grads([np.inf]))
+        assert scaler.scale == 1.0
+        scaler2 = LossScaler(scale=2.0**24, max_scale=2.0**24, growth_interval=1)
+        scaler2.unscale_and_check(grads([1.0]))
+        assert scaler2.scale == 2.0**24
+
+    def test_recovers_training_after_spike(self):
+        """A transient overflow must not poison subsequent steps."""
+        scaler = LossScaler(scale=64.0)
+        assert not scaler.unscale_and_check(grads([np.inf]))
+        g = grads([32.0])
+        assert scaler.unscale_and_check(g)
+        assert g["w"][0] == pytest.approx(1.0)
+
+
+class TestEmbeddingShrink:
+    def test_scales_embedding_grad_only(self):
+        from repro.data import token_batches
+        from repro.model import tiny_spec
+        from repro.nn import build_model, sequential_step
+
+        spec = tiny_spec(hidden_size=16, num_layers=1, num_heads=2,
+                         ffn_hidden_size=32, vocab_size=11, seq_length=8)
+        model = build_model(spec, seed=0)
+        tokens, targets = token_batches(11, 1, 1, 8, seed=0)
+        sequential_step(model, tokens, targets)
+        before_emb = model.embedding.grads["table"].copy()
+        before_other = model.components[1].grads["wq"].copy()
+        shrink_embedding_gradients(model, alpha=0.1)
+        assert np.allclose(model.embedding.grads["table"], 0.1 * before_emb)
+        assert np.array_equal(model.components[1].grads["wq"], before_other)
+
+    def test_alpha_validation(self):
+        from repro.model import tiny_spec
+        from repro.nn import build_model
+
+        model = build_model(tiny_spec(), seed=0)
+        with pytest.raises(ValueError):
+            shrink_embedding_gradients(model, alpha=0.0)
+
+
+class TestGradClipper:
+    def test_noop_under_limit(self):
+        clipper = GradNormClipper(max_norm=10.0)
+        g = grads([3.0, 4.0])
+        norm = clipper.clip(g)
+        assert norm == pytest.approx(5.0)
+        assert np.allclose(g["w"], [3.0, 4.0])
+
+    def test_clips_to_limit(self):
+        clipper = GradNormClipper(max_norm=1.0)
+        g = grads([3.0, 4.0])
+        clipper.clip(g)
+        assert np.linalg.norm(g["w"]) == pytest.approx(1.0)
+        assert clipper.last_norm == pytest.approx(5.0)
