@@ -56,6 +56,33 @@ def main() -> None:
     print("--- SVPP stage-0 activation memory over time ---")
     print(render_memory_profile(result, stage=0, width=WIDTH, height=8))
 
+    diagnose_corrupted_schedule()
+
+
+def diagnose_corrupted_schedule() -> None:
+    """What the static verifier reports on a deliberately broken schedule.
+
+    Swapping a backward in front of its own forward on the last stage
+    deadlocks the schedule: the verifier names the rule, shows where
+    each stage wedges, and prints the minimal blocking cycle that
+    proves it (docs/verification.md).
+    """
+    from repro.schedules import OpId, OpKind, verify_schedule
+
+    problem = build_problem("dapple", P, N)
+    schedule = build_schedule("dapple", problem)
+    last = schedule.programs[-1].ops
+    fwd = OpId(OpKind.F, 0, 0, P - 1)
+    bwd = OpId(OpKind.B, 0, 0, P - 1)
+    i, j = last.index(fwd), last.index(bwd)
+    last[i], last[j] = last[j], last[i]
+
+    print()
+    print("--- the static verifier on a corrupted schedule ---")
+    print(f"(swapped {fwd} and {bwd} on stage {P - 1}; "
+          "try `python -m repro verify <method>` on a real one)\n")
+    print(verify_schedule(schedule, method="dapple").render_text())
+
 
 if __name__ == "__main__":
     main()

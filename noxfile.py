@@ -1,0 +1,33 @@
+"""Nox sessions: lint and test gates, mirrored by .github/workflows/ci.yml.
+
+Run `nox -s lint` / `nox -s tests`, or the same commands directly:
+
+    ruff check src tests
+    ruff format --check src tests
+    mypy src/repro/schedules
+    PYTHONPATH=src python -m pytest -x -q
+"""
+
+import nox
+
+nox.options.sessions = ["lint", "tests"]
+
+#: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
+LINT_TARGETS = ("src", "tests")
+TYPED_TARGETS = ("src/repro/schedules",)
+
+
+@nox.session
+def lint(session: nox.Session) -> None:
+    """Static checks: ruff lint + format drift + mypy on the schedules layer."""
+    session.install("-e", ".[lint]")
+    session.run("ruff", "check", *LINT_TARGETS)
+    session.run("ruff", "format", "--check", *LINT_TARGETS)
+    session.run("mypy", *TYPED_TARGETS)
+
+
+@nox.session
+def tests(session: nox.Session) -> None:
+    """The tier-1 test suite (unit + integration + property tests)."""
+    session.install("-e", ".[test]")
+    session.run("python", "-m", "pytest", "-x", "-q", *session.posargs)

@@ -6,6 +6,9 @@ Commands:
   ids) and print it.
 * ``schedule <method>`` — generate a schedule and print its ASCII
   timeline (Figures 2-7 style).
+* ``verify <method>`` — statically verify a generated schedule
+  (placement, coverage, deadlock witnesses, channel order, activation
+  liveness, Table 3 closed-form agreement); exits non-zero on errors.
 * ``plan <model> <gbs>`` — grid-search every method and print the
   winners.
 """
@@ -57,6 +60,48 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.schedules import build_problem, build_schedule
+    from repro.schedules.verify import ALL_RULES, verify_schedule
+
+    rules = None
+    if args.rules:
+        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in ALL_RULES]
+        if unknown:
+            print(f"unknown rule(s) {unknown}; known: {', '.join(ALL_RULES)}")
+            return 2
+    from repro.schedules import ScheduleError
+
+    try:
+        problem = build_problem(
+            args.method,
+            args.stages,
+            args.microbatches,
+            num_slices=args.slices,
+            virtual_size=args.virtual,
+            wgrad_gemms=args.wgrad_gemms,
+        )
+        schedule = build_schedule(
+            args.method, problem, forwards_before_first_backward=args.forwards
+        )
+    except KeyError as exc:  # unknown method name
+        print(exc.args[0] if exc.args else exc)
+        return 2
+    except ValueError as exc:  # out-of-range shape (p/n/s/v/g)
+        print(exc)
+        return 2
+    except ScheduleError as exc:
+        # Invalid shape for the method, or the generator itself produced
+        # a schedule the safety tier rejects — either way the message is
+        # the diagnosis.
+        print(exc)
+        return 1
+    report = verify_schedule(schedule, method=args.method, rules=rules)
+    print(report.render_json() if args.json else report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.hardware import get_cluster
     from repro.model import get_model
@@ -101,6 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--trace", metavar="FILE", default=None,
                          help="write a Chrome/Perfetto trace JSON")
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_ver = sub.add_parser(
+        "verify", help="statically verify a generated schedule"
+    )
+    p_ver.add_argument("method")
+    p_ver.add_argument("--stages", "--p", type=int, default=4,
+                       help="pipeline stages p")
+    p_ver.add_argument("--microbatches", "--n", type=int, default=4,
+                       help="micro-batches n")
+    p_ver.add_argument("--slices", "--s", type=int, default=1,
+                       help="slices per sample s (SPP)")
+    p_ver.add_argument("--virtual", "--v", type=int, default=1,
+                       help="chunks per stage v (VPP)")
+    p_ver.add_argument("--forwards", "--f", type=int, default=None,
+                       help="f variant (SVPP/MEPipe)")
+    p_ver.add_argument("--wgrad-gemms", type=int, default=1)
+    p_ver.add_argument("--rules", default=None,
+                       help="comma-separated rule ids (default: all)")
+    p_ver.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    p_ver.set_defaults(func=_cmd_verify)
 
     p_plan = sub.add_parser("plan", help="grid-search parallel strategies")
     p_plan.add_argument("model", help="7b / 13b / 34b")

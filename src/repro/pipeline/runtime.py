@@ -97,6 +97,9 @@ class PipelineRuntime:
         Gradients accumulate into the model; call ``model.init_grads()``
         between iterations (or use :class:`repro.nn.Adam`, which does).
         """
+        from repro.schedules.verify import ensure_verified
+
+        ensure_verified(schedule, context="pipeline runtime")
         problem = schedule.problem
         if problem.num_microbatches != self.num_microbatches:
             raise ScheduleError(

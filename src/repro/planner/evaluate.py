@@ -18,6 +18,7 @@ from repro.model.spec import ModelSpec
 from repro.parallel.strategies import ParallelConfig, validate_for_cluster
 from repro.schedules.greedy import default_first_stage_cap, min_first_stage_cap
 from repro.schedules.methods import build_problem, build_schedule, method_traits
+from repro.schedules.verify import assert_clean
 from repro.sim.cost import ClusterCost
 from repro.sim.executor import simulate
 
@@ -106,6 +107,11 @@ def evaluate_config(
     schedule = build_schedule(
         method, problem, cost=cost, forwards_before_first_backward=f
     )
+    # Full static verification (channel order, liveness, closed-form
+    # cross-check on top of the builder's safety tier): a misgenerated
+    # schedule is rejected here with the complete diagnostic report, so
+    # the grid search skips it and the trail explains why.
+    assert_clean(schedule, method=method)
     overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
     result = simulate(schedule, cost, overhead_time=overhead)
 

@@ -243,53 +243,16 @@ class ScheduleError(Exception):
 def validate_schedule(schedule: Schedule) -> None:
     """Raise :class:`ScheduleError` if the schedule is malformed.
 
-    Checks op placement, exact coverage of the problem's op set, and —
-    by running a token-passing simulation — that the per-stage orders
-    admit a deadlock-free execution.
-    """
-    problem = schedule.problem
-    expected = set(problem.all_ops())
-    seen: set[OpId] = set()
-    for program in schedule.programs:
-        for op in program.ops:
-            if op in seen:
-                raise ScheduleError(f"duplicate op {op}")
-            seen.add(op)
-            if problem.stage_of(op) != program.stage:
-                raise ScheduleError(
-                    f"op {op} scheduled on stage {program.stage}, "
-                    f"belongs to stage {problem.stage_of(op)}"
-                )
-    if seen != expected:
-        missing = sorted(expected - seen)[:5]
-        extra = sorted(seen - expected)[:5]
-        raise ScheduleError(
-            f"op set mismatch: {len(expected - seen)} missing (e.g. "
-            f"{[str(o) for o in missing]}), {len(seen - expected)} extra "
-            f"(e.g. {[str(o) for o in extra]})"
-        )
+    Checks op placement, exact coverage of the problem's op set, and
+    that the per-stage orders admit a deadlock-free execution.
 
-    # Deadlock-freedom: repeatedly retire the head of any stage whose
-    # dependencies are all retired.
-    heads = [0] * len(schedule.programs)
-    done: set[OpId] = set()
-    total = schedule.op_count()
-    while len(done) < total:
-        progressed = False
-        for program in schedule.programs:
-            i = heads[program.stage]
-            while i < len(program.ops):
-                op = program.ops[i]
-                if any(d not in done for d in problem.deps(op)):
-                    break
-                done.add(op)
-                i += 1
-                progressed = True
-            heads[program.stage] = i
-        if not progressed:
-            stuck = [
-                str(program.ops[heads[program.stage]])
-                for program in schedule.programs
-                if heads[program.stage] < len(program.ops)
-            ]
-            raise ScheduleError(f"deadlock; blocked heads: {stuck}")
+    Thin wrapper over the safety tier of
+    :func:`repro.schedules.verify.ensure_verified` — a Kahn ready-queue
+    pass (O(V+E), where the original token-passing loop was O(V^2))
+    whose deadlock reports carry the per-stage blocked head positions
+    and a minimal blocking-cycle witness.  The richer channel-order and
+    liveness analyses live in :mod:`repro.schedules.verify`.
+    """
+    from repro.schedules.verify import ensure_verified
+
+    ensure_verified(schedule)

@@ -132,31 +132,42 @@ def build_schedule(
     cost: CostModel | None = None,
     forwards_before_first_backward: int | None = None,
 ) -> Schedule:
-    """Build a method's schedule over ``problem``."""
+    """Build a method's schedule over ``problem``.
+
+    Every generated schedule passes through the static verifier's
+    safety tier (placement, coverage, deadlock) before it is returned;
+    a generation bug surfaces here as a :class:`ScheduleError` carrying
+    the full diagnostic report rather than as a wedged simulation.
+    """
     key = method.lower()
     method_traits(key)
     if key == "gpipe":
-        return gpipe_schedule(problem)
-    if key == "dapple":
-        return dapple_schedule(problem)
-    if key == "terapipe":
-        return terapipe_schedule(problem)
-    if key == "vpp":
-        return vpp_schedule(problem)
-    if key == "hanayo":
-        return hanayo_schedule(problem, cost)
-    if key == "zb":
-        return zb_schedule(problem, cost)
-    if key == "zbv":
-        return zbv_schedule(problem, cost)
-    if key == "svpp":
-        return svpp_schedule(
+        schedule = gpipe_schedule(problem)
+    elif key == "dapple":
+        schedule = dapple_schedule(problem)
+    elif key == "terapipe":
+        schedule = terapipe_schedule(problem)
+    elif key == "vpp":
+        schedule = vpp_schedule(problem)
+    elif key == "hanayo":
+        schedule = hanayo_schedule(problem, cost)
+    elif key == "zb":
+        schedule = zb_schedule(problem, cost)
+    elif key == "zbv":
+        schedule = zbv_schedule(problem, cost)
+    elif key == "svpp":
+        schedule = svpp_schedule(
             problem,
             forwards_before_first_backward=forwards_before_first_backward,
             cost=cost,
         )
-    return mepipe_schedule(
-        problem,
-        forwards_before_first_backward=forwards_before_first_backward,
-        cost=cost,
-    )
+    else:
+        schedule = mepipe_schedule(
+            problem,
+            forwards_before_first_backward=forwards_before_first_backward,
+            cost=cost,
+        )
+    from repro.schedules.verify import ensure_verified
+
+    ensure_verified(schedule, context=f"{key} generator")
+    return schedule

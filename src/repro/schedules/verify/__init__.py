@@ -1,0 +1,42 @@
+"""Static analysis of pipeline schedules.
+
+Proves a schedule deadlock-free, channel-safe, and memory-correct
+before it reaches the simulator or the numerical runtime — the role a
+race detector / sanitizer plays in a training stack.  See
+``docs/verification.md`` for the invariant catalogue and worked
+examples, and ``python -m repro verify`` for the CLI.
+"""
+
+from repro.schedules.verify.core import (
+    ALL_RULES,
+    SAFETY_RULES,
+    assert_clean,
+    ensure_verified,
+    verify_schedule,
+)
+from repro.schedules.verify.deps import ScheduleIndex, check_structure
+from repro.schedules.verify.diagnostics import (
+    RULES,
+    Finding,
+    Report,
+    Rule,
+    Severity,
+)
+from repro.schedules.verify.liveness import StagePeak, check_liveness
+
+__all__ = [
+    "ALL_RULES",
+    "RULES",
+    "SAFETY_RULES",
+    "Finding",
+    "Report",
+    "Rule",
+    "ScheduleIndex",
+    "Severity",
+    "StagePeak",
+    "assert_clean",
+    "check_liveness",
+    "check_structure",
+    "ensure_verified",
+    "verify_schedule",
+]

@@ -128,10 +128,14 @@ def simulate(
     The replay is a list-scheduling fixed point: each stage executes its
     program strictly in order; an op starts when the stage is free and
     every dependency has completed (plus transfer time for cross-stage
-    edges).  Raises :class:`ScheduleError` on deadlock, which can only
-    happen if the schedule's per-stage orders are inconsistent with the
-    dependency graph.
+    edges).  The schedule is statically verified on entry (placement,
+    coverage, deadlock-freedom — cached if the builder already checked
+    it), so a malformed schedule raises :class:`ScheduleError` with a
+    diagnostic report instead of wedging the replay.
     """
+    from repro.schedules.verify import ensure_verified
+
+    ensure_verified(schedule, context="simulate")
     problem = schedule.problem
     num_stages = problem.num_stages
     programs = [schedule.stage_ops(s) for s in range(num_stages)]

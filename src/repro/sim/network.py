@@ -99,8 +99,12 @@ def simulate_with_network(
     ``cost.duration`` provides compute times; cross-stage edges are
     carried by ``network``'s links (``cost.comm_time`` is ignored).
     Event order is strictly chronological, so link occupancy is
-    consistent.
+    consistent.  Like the static-cost executor, the schedule is
+    verified (placement, coverage, deadlock) on entry.
     """
+    from repro.schedules.verify import ensure_verified
+
+    ensure_verified(schedule, context="simulate_with_network")
     problem = schedule.problem
     num_stages = problem.num_stages
     programs = [schedule.stage_ops(s) for s in range(num_stages)]
