@@ -1,0 +1,71 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+CI regenerates the benchmark suite and fails the build when any
+benchmark's median regresses by more than the threshold (default 20%)
+relative to the baseline committed at the repo root.  A small absolute
+slack absorbs timer noise on sub-millisecond micro-benchmarks.
+
+Usage:
+    python benchmarks/compare.py --baseline BENCH_pr2.json \
+        --current BENCH_run.json [--max-regression 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ABSOLUTE_SLACK_S = 0.005  # ignore deltas smaller than 5 ms outright
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {b["name"]: b["stats"]["median"] for b in data["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="fail when a median regresses by more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    missing = sorted(set(baseline) - set(current))
+    regressions: list[tuple[str, float, float, float]] = []
+
+    for name in sorted(set(baseline) & set(current)):
+        old, new = baseline[name], current[name]
+        ratio = 100.0 * (new - old) / old if old else 0.0
+        flag = ""
+        if new - old > ABSOLUTE_SLACK_S and ratio > args.max_regression:
+            regressions.append((name, old, new, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:55s} {old:10.4f}s -> {new:10.4f}s {ratio:+7.1f}%{flag}")
+
+    if missing:
+        print(f"\nnote: {len(missing)} baseline benchmark(s) not in current "
+              f"run: {', '.join(missing)}")
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
+            f"{args.max_regression:.0f}% vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed by more than "
+          f"{args.max_regression:.0f}% vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

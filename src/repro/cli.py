@@ -21,7 +21,9 @@ import sys
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY
+    from repro.experiments.common import configure_planner
 
+    configure_planner(jobs=args.jobs, use_cache=not args.no_cache)
     if args.id == "list":
         for key in REGISTRY:
             print(key)
@@ -105,16 +107,24 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.hardware import get_cluster
     from repro.model import get_model
-    from repro.planner import search_method
+    from repro.planner import SweepCache, search_method
 
     spec = get_model(args.model)
     cluster = get_cluster(args.cluster)
+    cache = None if args.no_cache else SweepCache()
     for method in args.methods.split(","):
-        result = search_method(method, spec, cluster, args.gbs)
+        result = search_method(
+            method, spec, cluster, args.gbs, jobs=args.jobs, cache=cache
+        )
         if result.best is None:
             print(f"{method:9s} OOM in every configuration")
         else:
             print(f"{method:9s} {result.best.describe()}")
+        if args.show_skipped:
+            for skip in result.skipped:
+                print(f"  skipped {skip.config.describe()}: {skip.reason}")
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"sweep cache: {cache.hits} hits, {cache.misses} misses")
     return 0
 
 
@@ -127,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("id", help="experiment id, or 'list'")
+    p_exp.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the grid searches")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="do not reuse/persist sweep results on disk")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_sched = sub.add_parser("schedule", help="render a schedule timeline")
@@ -173,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("gbs", type=int)
     p_plan.add_argument("--cluster", default="rtx4090-64")
     p_plan.add_argument("--methods", default="dapple,vpp,zb,zbv,mepipe")
+    p_plan.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the grid search")
+    p_plan.add_argument("--no-cache", action="store_true",
+                        help="do not reuse/persist sweep results on disk")
+    p_plan.add_argument("--show-skipped", action="store_true",
+                        help="print every pruned/rejected config with reason")
     p_plan.set_defaults(func=_cmd_plan)
     return parser
 

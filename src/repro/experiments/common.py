@@ -1,13 +1,59 @@
-"""Shared report plumbing for the experiment modules.
+"""Shared report plumbing and planner settings for the experiments.
 
 Every experiment returns an :class:`ExperimentReport` with tabular rows
 that render as the paper's tables/figures-as-text, so the benchmark
 harness and the CLI can print paper-vs-measured side by side.
+
+The experiments' grid searches all route through :func:`search` here,
+which applies the process-wide :class:`~repro.planner.parallel
+.PlannerSettings` — worker count (``--jobs`` / ``REPRO_JOBS``) and the
+shared on-disk sweep cache — so overlapping cells (e.g. Figure 8's
+GBS-128 column and Figure 10's 13B row) are evaluated once per
+machine, not once per artifact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+from repro.planner.parallel import PlannerSettings
+from repro.planner.search import SearchResult, search_method
+
+#: Process-wide sweep settings; the CLI mutates this before running
+#: experiments, tests leave it at the hermetic defaults (1 job, cache
+#: only when ``REPRO_SWEEP_CACHE`` enables it).
+SETTINGS = PlannerSettings()
+
+
+def configure_planner(
+    jobs: int | None = None, use_cache: bool | None = None
+) -> None:
+    """Apply CLI-level sweep settings for subsequent :func:`search` calls."""
+    if jobs is not None:
+        SETTINGS.jobs = jobs
+    if use_cache is not None:
+        SETTINGS.cache = None
+        if use_cache:
+            SETTINGS.shared_cache()
+
+
+def search(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    global_batch_size: int,
+) -> SearchResult:
+    """Grid-search ``method`` under the process-wide sweep settings."""
+    return search_method(
+        method,
+        spec,
+        cluster,
+        global_batch_size,
+        jobs=SETTINGS.jobs,
+        cache=SETTINGS.cache,
+    )
 
 
 @dataclass

@@ -9,10 +9,9 @@ schedule fit without recomputation.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, ms
+from repro.experiments.common import ExperimentReport, ms, search
 from repro.hardware.cluster import RTX4090_CLUSTER, ClusterSpec
 from repro.model.spec import LLAMA_7B, LLAMA_13B, LLAMA_34B, ModelSpec
-from repro.planner.search import search_method
 
 GBS = 128
 MODELS: list[ModelSpec] = [LLAMA_7B, LLAMA_13B, LLAMA_34B]
@@ -33,7 +32,7 @@ def run(
     for spec in models or MODELS:
         times = {}
         for method in methods or METHODS:
-            result = search_method(method, spec, cluster, GBS)
+            result = search(method, spec, cluster, GBS)
             if result.best is None:
                 report.add_row(spec.name, method, "-", "OOM")
                 continue

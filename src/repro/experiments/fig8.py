@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import ExperimentReport, ms
+from repro.experiments.common import ExperimentReport, ms, search
 from repro.hardware.cluster import RTX4090_CLUSTER, ClusterSpec
 from repro.model.spec import LLAMA_13B, ModelSpec
-from repro.planner.search import SearchResult, search_method
+from repro.planner.search import SearchResult
 
 METHODS = ["dapple", "vpp", "zb", "zbv", "mepipe"]
 BATCH_SIZES = [32, 64, 128]
@@ -60,7 +60,7 @@ def compute(
     for gbs in batch_sizes or BATCH_SIZES:
         for method in methods or METHODS:
             cells.append(
-                Fig8Cell(method, gbs, search_method(method, spec, cluster, gbs))
+                Fig8Cell(method, gbs, search(method, spec, cluster, gbs))
             )
     return cells
 

@@ -10,13 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import ExperimentReport, ms
+from repro.experiments.common import ExperimentReport, ms, search
 from repro.hardware.cluster import A100_CLUSTER, RTX4090_CLUSTER, ClusterSpec
 from repro.model.spec import LLAMA_7B, LLAMA_13B, LLAMA_34B, ModelSpec
 from repro.parallel.grid import enumerate_configs
-from repro.planner.evaluate import EvalResult, evaluate_config
-from repro.planner.search import search_method
-from repro.schedules.base import ScheduleError
+from repro.planner.evaluate import EvalResult
+from repro.planner.parallel import EvalTask, evaluate_tasks, merge_outcomes
 
 GBS = 128
 MODELS = [LLAMA_7B, LLAMA_13B, LLAMA_34B]
@@ -38,8 +37,14 @@ class ClusterOutcome:
 
 
 def best_on_a100(spec: ModelSpec, gbs: int = GBS) -> EvalResult | None:
-    """Grid search classic methods with TP over the A100 cluster."""
-    best: EvalResult | None = None
+    """Grid search classic methods with TP over the A100 cluster.
+
+    Built as one task list over all three methods and fanned out /
+    cached through the shared planner plumbing, like every other sweep.
+    """
+    from repro.experiments.common import SETTINGS
+
+    tasks: list[EvalTask] = []
     for method in ("dapple", "vpp", "zb"):
         for config in enumerate_configs(
             spec,
@@ -53,20 +58,15 @@ def best_on_a100(spec: ModelSpec, gbs: int = GBS) -> EvalResult | None:
         ):
             if config.tp > A100_CLUSTER.gpus_per_node:
                 continue
-            try:
-                result = evaluate_config(method, spec, A100_CLUSTER, config, gbs)
-            except (ScheduleError, ValueError):
-                continue
-            if result.oom:
-                continue
-            if best is None or result.iteration_time_s < best.iteration_time_s:
-                best = result
+            tasks.append(EvalTask(method, spec, A100_CLUSTER, config, gbs))
+    outcomes = evaluate_tasks(tasks, jobs=SETTINGS.jobs, cache=SETTINGS.cache)
+    best, _ = merge_outcomes(outcomes)
     return best
 
 
 def best_on_4090(spec: ModelSpec, gbs: int = GBS) -> EvalResult | None:
     """MEPipe's grid-searched optimum on the 4090 cluster."""
-    return search_method("mepipe", spec, RTX4090_CLUSTER, gbs).best
+    return search("mepipe", spec, RTX4090_CLUSTER, gbs).best
 
 
 def run(models: list[ModelSpec] | None = None) -> ExperimentReport:

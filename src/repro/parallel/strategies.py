@@ -100,6 +100,18 @@ class ParallelConfig:
         """Return a modified copy (thin wrapper over ``dataclasses.replace``)."""
         return replace(self, **changes)  # type: ignore[arg-type]
 
+    def sort_key(self) -> tuple[int, int, int, int, int, int, int, int]:
+        """Total order over configurations, for deterministic tie-breaks.
+
+        The planner's parallel sweeps merge worker results with
+        ``(iteration_time, config.sort_key())`` so the selected optimum
+        is independent of worker count and completion order.
+        """
+        return (
+            self.dp, self.pp, self.cp, self.tp, self.vp, self.spp,
+            int(self.recompute), self.micro_batch_size,
+        )
+
 
 def validate_for_cluster(
     config: ParallelConfig, num_devices: int, spec: ModelSpec

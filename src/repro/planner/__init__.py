@@ -1,5 +1,5 @@
-"""Config evaluation, Section 4.5 variant selection, grid search, and
-cost-model fitting."""
+"""Config evaluation, Section 4.5 variant selection, grid search
+(parallel and cached), and cost-model fitting."""
 
 from repro.planner.costfit import (
     FittedCurve,
@@ -8,14 +8,31 @@ from repro.planner.costfit import (
     synthetic_observations,
 )
 from repro.planner.evaluate import EvalResult, evaluate_config, select_variant
-from repro.planner.search import SearchResult, search_method
+from repro.planner.parallel import (
+    EvalOutcome,
+    EvalTask,
+    PlannerSettings,
+    SweepCache,
+    eval_fingerprint,
+    evaluate_tasks,
+    merge_outcomes,
+)
+from repro.planner.search import SearchResult, SkippedConfig, search_method
 
 __all__ = [
+    "EvalOutcome",
     "EvalResult",
+    "EvalTask",
     "FittedCurve",
+    "PlannerSettings",
     "SearchResult",
+    "SkippedConfig",
+    "SweepCache",
+    "eval_fingerprint",
     "evaluate_config",
+    "evaluate_tasks",
     "fit_efficiency_curve",
+    "merge_outcomes",
     "observations_from_slices",
     "search_method",
     "select_variant",

@@ -1,0 +1,257 @@
+"""Parallel fan-out and on-disk caching for planner sweeps.
+
+The grid searches behind every headline artifact (Figures 8/10,
+Tables 5/8/9) evaluate hundreds of (method, parallel config) cells, and
+several experiments share cells — the Figure 8 GBS-128 column *is* the
+Figure 10 13B row.  This module makes those sweeps cheap twice over:
+
+* :func:`evaluate_tasks` fans :func:`~repro.planner.evaluate
+  .evaluate_config` calls out over a process pool.  Results are merged
+  back **by task index**, so the outcome list — and therefore the
+  selected optimum — is bit-identical for any worker count, including
+  the inline ``jobs=1`` path.
+* :class:`SweepCache` persists each evaluation outcome (including
+  rejections) under ``artifacts/cache/``, keyed by a content
+  fingerprint of everything that determines the result: the cache
+  schema version, method, model spec, cluster spec, config, and global
+  batch size.  A second sweep over overlapping cells replays from disk.
+
+Environment knobs (all optional):
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``artifacts/cache``).
+* ``REPRO_SWEEP_CACHE=0`` — disable the cache even when one is passed.
+* ``REPRO_JOBS`` — default worker count for the experiment wrappers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from hashlib import sha256
+from pathlib import Path
+
+from repro.hardware.cluster import ClusterSpec
+from repro.model.spec import ModelSpec
+from repro.parallel.strategies import ParallelConfig
+from repro.planner.evaluate import EvalResult, evaluate_config
+from repro.schedules.base import ScheduleError
+
+#: Bump when the evaluation semantics change so stale cache entries
+#: (computed under the old semantics) can never be replayed.
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One grid cell: everything :func:`evaluate_config` needs."""
+
+    method: str
+    spec: ModelSpec
+    cluster: ClusterSpec
+    config: ParallelConfig
+    global_batch_size: int
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """Result of one task: either an :class:`EvalResult` or a rejection.
+
+    ``error`` carries the rejection reason when the evaluation raised
+    (invalid config, scheduler wedge); exactly one of ``result`` and
+    ``error`` is set.
+    """
+
+    result: EvalResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def eval_fingerprint(task: EvalTask) -> str:
+    """Stable content hash of one evaluation's full input."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "method": task.method,
+        "spec": asdict(task.spec),
+        "cluster": asdict(task.cluster),
+        "config": asdict(task.config),
+        "global_batch_size": task.global_batch_size,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode()).hexdigest()
+
+
+class SweepCache:
+    """Filesystem cache of evaluation outcomes, one JSON file per cell.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent
+    workers and interrupted runs can never leave a torn entry; corrupt
+    or stale-schema files read as misses and are overwritten.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", "artifacts/cache")
+        self.root = Path(root)
+        self.enabled = os.environ.get("REPRO_SWEEP_CACHE", "1") != "0"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, task: EvalTask) -> EvalOutcome | None:
+        """Cached outcome of ``task``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        fingerprint = eval_fingerprint(task)
+        try:
+            raw = self._path(fingerprint).read_text()
+            entry = json.loads(raw)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if entry.get("status") == "error":
+            return EvalOutcome(error=str(entry["reason"]))
+        data = entry["result"]
+        data["config"] = ParallelConfig(**data["config"])
+        return EvalOutcome(result=EvalResult(**data))
+
+    def put(self, task: EvalTask, outcome: EvalOutcome) -> None:
+        """Persist ``outcome`` atomically; failures degrade to no cache."""
+        if not self.enabled:
+            return
+        fingerprint = eval_fingerprint(task)
+        entry: dict[str, object] = {
+            "schema": CACHE_SCHEMA,
+            "method": task.method,
+            "model": task.spec.name,
+            "cluster": task.cluster.name,
+            "global_batch_size": task.global_batch_size,
+        }
+        if outcome.result is not None:
+            entry["status"] = "ok"
+            entry["result"] = asdict(outcome.result)
+        else:
+            entry["status"] = "error"
+            entry["reason"] = outcome.error
+        path = self._path(fingerprint)
+        tmp = path.with_suffix(".tmp." + str(os.getpid()))
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome]:
+    """Worker body: evaluate one cell, mapping rejections to outcomes.
+
+    Module-level (picklable) and index-tagged so pool results can be
+    merged deterministically regardless of completion order.
+    """
+    index, task = indexed
+    try:
+        result = evaluate_config(
+            task.method,
+            task.spec,
+            task.cluster,
+            task.config,
+            task.global_batch_size,
+        )
+    except (ScheduleError, ValueError) as exc:
+        first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        return index, EvalOutcome(error=first)
+    return index, EvalOutcome(result=result)
+
+
+def evaluate_tasks(
+    tasks: list[EvalTask],
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+) -> list[EvalOutcome]:
+    """Evaluate every task; returns outcomes aligned with ``tasks``.
+
+    Cache hits are resolved up front; only misses are dispatched (to a
+    process pool when ``jobs > 1``, inline otherwise) and written back.
+    The returned list depends only on the task list — not on worker
+    count, scheduling, or cache state — which is what makes sweeps
+    reproducible across machines and ``--jobs`` settings.
+    """
+    outcomes: list[EvalOutcome | None] = [None] * len(tasks)
+    pending: list[tuple[int, EvalTask]] = []
+    for i, task in enumerate(tasks):
+        hit = cache.get(task) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = hit
+        else:
+            pending.append((i, task))
+
+    if pending:
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(_run_task, pending))
+        else:
+            computed = [_run_task(item) for item in pending]
+        for i, outcome in computed:
+            outcomes[i] = outcome
+            if cache is not None:
+                cache.put(tasks[i], outcome)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def merge_outcomes(
+    outcomes: list[EvalOutcome],
+) -> tuple[EvalResult | None, list[EvalResult]]:
+    """Deterministic reduction of a sweep: the trail and the optimum.
+
+    The best is the minimum over non-OOM results of
+    ``(iteration_time, config.sort_key())`` — a total order, so ties
+    between equally fast configurations resolve identically no matter
+    how the work was partitioned.
+    """
+    evaluated: list[EvalResult] = []
+    best: EvalResult | None = None
+    for outcome in outcomes:
+        result = outcome.result
+        if result is None:
+            continue
+        evaluated.append(result)
+        if result.oom:
+            continue
+        if best is None or (
+            (result.iteration_time_s, result.config.sort_key())
+            < (best.iteration_time_s, best.config.sort_key())
+        ):
+            best = result
+    return best, evaluated
+
+
+@dataclass
+class PlannerSettings:
+    """Process-wide defaults for experiment-driven sweeps.
+
+    The CLI's ``--jobs``/``--no-cache`` flags and the ``REPRO_JOBS`` /
+    ``REPRO_SWEEP_CACHE`` environment variables configure this; the
+    experiment modules route their searches through it so a whole
+    artifact regeneration shares one cache and one worker budget.
+    """
+
+    jobs: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_JOBS", "1"))
+    )
+    cache: SweepCache | None = None
+
+    def shared_cache(self) -> SweepCache | None:
+        if self.cache is None:
+            self.cache = SweepCache()
+        return self.cache if self.cache.enabled else None

@@ -4,19 +4,40 @@ Section 7.3 ("Selection of the Optimal Parallel Strategy"): memory and
 bubble ratio are predictable, communication and kernel efficiency less
 so, hence the paper grid-searches (PP, DP, CP or SPP, VP, recompute)
 per method.  This module reproduces that search against the simulator.
+
+The search itself is a task list handed to
+:mod:`repro.planner.parallel`, which fans evaluations out over a
+process pool (``jobs``) and replays previously computed cells from the
+on-disk sweep cache; the merge is deterministic in both dimensions.
+Every candidate the search does *not* evaluate is recorded in the
+result's ``skipped`` trail with the reason, so a sweep is auditable:
+``evaluated + skipped`` covers the whole enumerated space.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
 from repro.parallel.grid import enumerate_configs
 from repro.parallel.strategies import ParallelConfig
-from repro.planner.evaluate import EvalResult, evaluate_config
-from repro.schedules.base import ScheduleError
+from repro.planner.evaluate import EvalResult
+from repro.planner.parallel import (
+    EvalTask,
+    SweepCache,
+    evaluate_tasks,
+    merge_outcomes,
+)
 from repro.schedules.methods import method_traits
+
+
+@dataclass(frozen=True)
+class SkippedConfig:
+    """One candidate the search rejected without simulating, and why."""
+
+    config: ParallelConfig
+    reason: str
 
 
 @dataclass
@@ -26,6 +47,9 @@ class SearchResult:
     method: str
     best: EvalResult | None
     evaluated: list[EvalResult]
+    #: Candidates rejected before or during evaluation, with reasons
+    #: (static pruning, fixed-VP methods, scheduler rejections).
+    skipped: list[SkippedConfig] = field(default_factory=list)
 
     @property
     def all_oom(self) -> bool:
@@ -40,6 +64,8 @@ def search_method(
     max_spp: int = 16,
     max_vp: int = 2,
     min_dp: int = 2,
+    jobs: int = 1,
+    cache: SweepCache | None = None,
 ) -> SearchResult:
     """Find the fastest non-OOM configuration of ``method``.
 
@@ -47,6 +73,11 @@ def search_method(
     (Section 7.1 "Baseline"): DAPPLE searches DP/PP/CP/recompute, VPP
     additionally VP, ZB/ZBV search PP/CP only (no recomputation), and
     SVPP/MEPipe search PP/SPP/VP with no CP and no recomputation.
+
+    ``jobs`` fans the evaluations out over a process pool; ``cache``
+    replays previously computed cells from disk.  Neither affects the
+    returned result — best, trail, and skip reasons are identical for
+    every ``jobs`` value and cache state.
     """
     traits = method_traits(method)
     candidates = enumerate_configs(
@@ -61,44 +92,56 @@ def search_method(
         max_spp=max_spp,
         max_vp=max_vp,
     )
-    evaluated: list[EvalResult] = []
-    best: EvalResult | None = None
+    skipped: list[SkippedConfig] = []
+    tasks: list[EvalTask] = []
     for config in candidates:
         if traits.fixed_vp is not None and config.vp != 1:
+            skipped.append(
+                SkippedConfig(
+                    config,
+                    f"vp fixed at {traits.fixed_vp} by method {method!r}",
+                )
+            )
             continue
-        if not _worth_evaluating(method, config, spec, cluster, global_batch_size):
+        reason = prune_reason(method, config, spec, cluster, global_batch_size)
+        if reason is not None:
+            skipped.append(SkippedConfig(config, reason))
             continue
-        try:
-            result = evaluate_config(
-                method, spec, cluster, config, global_batch_size)
-        except (ScheduleError, ValueError):
-            continue
-        evaluated.append(result)
-        if result.oom:
-            continue
-        if best is None or result.iteration_time_s < best.iteration_time_s:
-            best = result
-    return SearchResult(method=method, best=best, evaluated=evaluated)
+        tasks.append(
+            EvalTask(method, spec, cluster, config, global_batch_size)
+        )
+
+    outcomes = evaluate_tasks(tasks, jobs=jobs, cache=cache)
+    for task, outcome in zip(tasks, outcomes):
+        if not outcome.ok:
+            skipped.append(
+                SkippedConfig(task.config, f"rejected: {outcome.error}")
+            )
+    best, evaluated = merge_outcomes(outcomes)
+    return SearchResult(
+        method=method, best=best, evaluated=evaluated, skipped=skipped
+    )
 
 
-def _worth_evaluating(
+def prune_reason(
     method: str,
     config: ParallelConfig,
     spec: ModelSpec,
     cluster: ClusterSpec,
     global_batch_size: int,
-) -> bool:
-    """Cheap static pruning to keep the search tractable.
+) -> str | None:
+    """Why a candidate is not worth simulating, or ``None`` to keep it.
 
-    Skips configurations whose *static* memory alone exceeds the device
-    (the simulator would only confirm the OOM) and caps the number of
+    Cheap static pruning to keep the search tractable: skips
+    configurations whose *static* memory alone exceeds the device (the
+    simulator would only confirm the OOM) and caps the number of
     micro-batches at 512 to bound simulation cost.
     """
     from repro.model.memory import budget_for
 
     n = global_batch_size // config.dp
     if n > 512:
-        return False
+        return f"{n} micro-batches exceeds the simulation cap of 512"
     budget = budget_for(
         spec,
         capacity_bytes=cluster.gpu.memory_bytes,
@@ -106,4 +149,9 @@ def _worth_evaluating(
         total_devices=cluster.num_devices,
         micro_batch_tokens=spec.seq_length // (config.cp * config.spp),
     )
-    return budget.available_for_activations > 0
+    if budget.available_for_activations <= 0:
+        return (
+            "static memory alone exceeds device capacity "
+            f"({budget.static / 2**30:.1f} GiB static)"
+        )
+    return None

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator
 
 
@@ -58,6 +59,21 @@ class OpId:
     slice_idx: int
     chunk: int
     gemm: int = -1
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        # OpIds key every dict in the verifier, simulator, and greedy
+        # generator; the dataclass-generated hash re-hashes the OpKind
+        # enum on each probe, which profiles as the single hottest call
+        # in a planner sweep.  Freeze the hash at construction instead.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.kind.value, self.microbatch, self.slice_idx, self.chunk, self.gemm)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         tag = f"{self.kind.value}{self.microbatch}.{self.slice_idx}c{self.chunk}"
@@ -120,19 +136,33 @@ class PipelineProblem:
         """Total model chunks ``v * p``."""
         return self.num_stages * self.virtual_size
 
+    @cached_property
+    def _placement_tables(self) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+        """``(stage_of_chunk, chunks_of_stage)`` computed once per problem.
+
+        ``cached_property`` writes straight into the instance ``__dict__``
+        so it composes with the frozen dataclass (no ``__setattr__``).
+        """
+        p = self.num_stages
+        vshape = self.chunk_placement == "vshape"
+        stage_of: list[int] = []
+        chunks_of: list[list[int]] = [[] for _ in range(p)]
+        for c in range(self.num_chunks):
+            pos, rnd = c % p, c // p
+            st = p - 1 - pos if vshape and rnd % 2 == 1 else pos
+            stage_of.append(st)
+            chunks_of[st].append(c)
+        return tuple(stage_of), tuple(tuple(cs) for cs in chunks_of)
+
     def stage_of_chunk(self, chunk: int) -> int:
         """Pipeline stage hosting a model chunk."""
         if not 0 <= chunk < self.num_chunks:
             raise ValueError(f"chunk {chunk} out of range")
-        p = self.num_stages
-        pos, rnd = chunk % p, chunk // p
-        if self.chunk_placement == "vshape" and rnd % 2 == 1:
-            return p - 1 - pos
-        return pos
+        return self._placement_tables[0][chunk]
 
     def chunks_of_stage(self, stage: int) -> list[int]:
         """Model chunks hosted by ``stage``, in ascending depth order."""
-        return [c for c in range(self.num_chunks) if self.stage_of_chunk(c) == stage]
+        return list(self._placement_tables[1][stage])
 
     @property
     def activation_units_per_op(self) -> float:

@@ -1,0 +1,283 @@
+"""Compiled schedule graph IR.
+
+A :class:`ScheduleGraph` is the dense, integer-indexed form of a
+:class:`~repro.schedules.base.Schedule`: every op becomes one index in
+``[0, num_ops)``, laid out stage-major in program order, with
+CSR-style predecessor/successor arrays over the Section 4.1 dependency
+edges and per-op ``kind``/``cell``/``stage``/``pos`` tables.  The
+verifier's deadlock, channel, and liveness analyses and the simulator's
+event-driven replay all walk these flat arrays instead of re-deriving
+``PipelineProblem.deps`` (which allocates fresh ``OpId`` objects) per
+probe.
+
+Contract:
+
+* The graph compiles only from *structurally clean* schedules — one
+  program per stage in order, every op of the problem exactly once, on
+  its home stage.  Anything else raises ``ScheduleError``; diagnosing
+  malformed schedules stays with the legacy dict-of-``OpId`` walks in
+  :mod:`repro.schedules.verify`, which produce the full witness output.
+* Ops are numbered stage-major: ``stage_bounds[s] = (lo, hi)`` and the
+  ops of stage ``s`` occupy ``[lo, hi)`` in program order, so the
+  implicit program-order edge of op ``i`` (when ``pos[i] > 0``) is
+  ``i - 1 -> i``.
+* ``pred_indptr``/``pred`` list each op's dependency predecessors in
+  the exact order ``PipelineProblem.deps`` returns them;
+  ``pred_cross[e]`` flags edges that cross a stage boundary.
+  ``succ_indptr``/``succ`` is the transpose.
+* ``cell[i]`` is the canonical ``(mb * s + sl) * chunks + c`` index of
+  op ``i``'s (micro-batch, slice, chunk) coordinate — the key the
+  liveness ledger shares between an F op and its B/W counterparts.
+* Graphs are cached on the schedule object keyed by the same content
+  fingerprint the verifier uses, so one (schedule, analysis) lifetime
+  compiles exactly once; mutating a program invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import (
+    OpId,
+    OpKind,
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+)
+
+#: Integer op kinds used in :attr:`ScheduleGraph.kind` (array-friendly
+#: stand-ins for the :class:`OpKind` enum).
+KIND_F: int = 0
+KIND_B: int = 1
+KIND_W: int = 2
+
+
+class ScheduleGraph:
+    """Dense compiled form of one schedule (see module docstring)."""
+
+    __slots__ = (
+        "problem",
+        "fingerprint",
+        "ops",
+        "kind",
+        "cell",
+        "gemm",
+        "stage",
+        "pos",
+        "stage_bounds",
+        "pred_indptr",
+        "pred",
+        "pred_cross",
+        "succ_indptr",
+        "succ",
+    )
+
+    def __init__(
+        self,
+        problem: PipelineProblem,
+        fingerprint: int,
+        ops: tuple[OpId, ...],
+        kind: tuple[int, ...],
+        cell: tuple[int, ...],
+        gemm: tuple[int, ...],
+        stage: tuple[int, ...],
+        pos: tuple[int, ...],
+        stage_bounds: tuple[tuple[int, int], ...],
+        pred_indptr: tuple[int, ...],
+        pred: tuple[int, ...],
+        pred_cross: tuple[bool, ...],
+        succ_indptr: tuple[int, ...],
+        succ: tuple[int, ...],
+    ) -> None:
+        self.problem = problem
+        self.fingerprint = fingerprint
+        self.ops = ops
+        self.kind = kind
+        self.cell = cell
+        self.gemm = gemm
+        self.stage = stage
+        self.pos = pos
+        self.stage_bounds = stage_bounds
+        self.pred_indptr = pred_indptr
+        self.pred = pred
+        self.pred_cross = pred_cross
+        self.succ_indptr = succ_indptr
+        self.succ = succ
+
+    @property
+    def num_ops(self) -> int:
+        """Total ops in the compiled schedule."""
+        return len(self.ops)
+
+    def preds_of(self, i: int) -> tuple[int, ...]:
+        """Dependency predecessors of op ``i`` (dense indices)."""
+        return self.pred[self.pred_indptr[i] : self.pred_indptr[i + 1]]
+
+    def succs_of(self, i: int) -> tuple[int, ...]:
+        """Dependency successors of op ``i`` (dense indices)."""
+        return self.succ[self.succ_indptr[i] : self.succ_indptr[i + 1]]
+
+
+def fingerprint(schedule: Schedule) -> int:
+    """Cheap content hash of the per-stage op orders.
+
+    Hashing every op is ~two orders of magnitude cheaper than
+    re-verifying or re-compiling, and unlike an op count it also
+    invalidates cached verdicts/graphs when a schedule is reordered in
+    place.  Shared by :func:`compiled_graph` and the verifier's verdict
+    cache so both invalidate together.  Hashes the ops' precomputed
+    ``_hash`` values directly — same collision behavior as hashing the
+    ``OpId`` tuples (tuple hashing combines element hashes either way)
+    without a Python-level ``__hash__`` call per op.
+    """
+    return hash(
+        tuple(
+            (program.stage, tuple(op._hash for op in program.ops))
+            for program in schedule.programs
+        )
+    )
+
+
+def compiled_graph(schedule: Schedule) -> ScheduleGraph:
+    """The compiled graph of ``schedule``, cached by content fingerprint."""
+    token = fingerprint(schedule)
+    cached: tuple[int, ScheduleGraph] | None = getattr(
+        schedule, "_graph_cache", None
+    )
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    graph = _compile(schedule, token)
+    schedule._graph_cache = (token, graph)  # type: ignore[attr-defined]
+    return graph
+
+
+def _compile(schedule: Schedule, token: int) -> ScheduleGraph:
+    problem = schedule.problem
+    p = problem.num_stages
+    if [program.stage for program in schedule.programs] != list(range(p)):
+        raise ScheduleError(
+            f"cannot compile {schedule.name!r}: expected one program per "
+            f"stage in order 0..{p - 1}"
+        )
+
+    n, s = problem.num_microbatches, problem.num_slices
+    chunks = problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms
+    cells = n * s * chunks
+    # Canonical op codes: F -> cell, B -> cells + cell,
+    # W(g) -> 2*cells + cell*gemms + g.
+    total = cells * 2 + (cells * gemms if split else 0)
+    stage_of_chunk = problem._placement_tables[0]
+
+    dense_of = [-1] * total
+    ops: list[OpId] = []
+    kind_arr: list[int] = []
+    cell_arr: list[int] = []
+    gemm_arr: list[int] = []
+    stage_arr: list[int] = []
+    pos_arr: list[int] = []
+    code_arr: list[int] = []
+    stage_bounds: list[tuple[int, int]] = []
+
+    for program in schedule.programs:
+        lo = len(ops)
+        for idx, op in enumerate(program.ops):
+            mb, sl, c, g = op.microbatch, op.slice_idx, op.chunk, op.gemm
+            if not (0 <= mb < n and 0 <= sl < s and 0 <= c < chunks):
+                raise ScheduleError(
+                    f"cannot compile {schedule.name!r}: op {op} is not "
+                    f"part of the problem"
+                )
+            base = (mb * s + sl) * chunks + c
+            if op.kind is OpKind.F:
+                ok, code, kc = g == -1, base, KIND_F
+            elif op.kind is OpKind.B:
+                ok, code, kc = g == -1, cells + base, KIND_B
+            else:
+                ok = split and 0 <= g < gemms
+                code, kc = 2 * cells + base * gemms + g, KIND_W
+            if not ok:
+                raise ScheduleError(
+                    f"cannot compile {schedule.name!r}: op {op} is not "
+                    f"part of the problem"
+                )
+            if dense_of[code] != -1:
+                raise ScheduleError(
+                    f"cannot compile {schedule.name!r}: duplicate op {op}"
+                )
+            if stage_of_chunk[c] != program.stage:
+                raise ScheduleError(
+                    f"cannot compile {schedule.name!r}: op {op} scheduled "
+                    f"on stage {program.stage}, belongs to stage "
+                    f"{stage_of_chunk[c]}"
+                )
+            dense_of[code] = len(ops)
+            ops.append(op)
+            kind_arr.append(kc)
+            cell_arr.append(base)
+            gemm_arr.append(g)
+            stage_arr.append(program.stage)
+            pos_arr.append(idx)
+            code_arr.append(code)
+        stage_bounds.append((lo, len(ops)))
+
+    if len(ops) != total:
+        raise ScheduleError(
+            f"cannot compile {schedule.name!r}: {total - len(ops)} op(s) "
+            f"missing from the schedule"
+        )
+
+    # Dependency edges, predecessor order matching PipelineProblem.deps.
+    num_ops = len(ops)
+    pred_indptr: list[int] = [0]
+    pred_list: list[int] = []
+    cross_list: list[bool] = []
+    succ_lists: list[list[int]] = [[] for _ in range(num_ops)]
+    for i in range(num_ops):
+        kc = kind_arr[i]
+        base = cell_arr[i]
+        c = base % chunks
+        sl = (base // chunks) % s
+        dep_codes: list[int] = []
+        if kc == KIND_F:
+            if c > 0:
+                dep_codes.append(base - 1)
+            if sl > 0:
+                dep_codes.append(base - chunks)
+        elif kc == KIND_B:
+            dep_codes.append(base)
+            if c < chunks - 1:
+                dep_codes.append(cells + base + 1)
+            if sl < s - 1:
+                dep_codes.append(cells + base + chunks)
+        else:
+            dep_codes.append(cells + base)
+        st = stage_arr[i]
+        for code in dep_codes:
+            j = dense_of[code]
+            pred_list.append(j)
+            cross_list.append(stage_arr[j] != st)
+            succ_lists[j].append(i)
+        pred_indptr.append(len(pred_list))
+
+    succ_indptr: list[int] = [0]
+    succ_list: list[int] = []
+    for js in succ_lists:
+        succ_list.extend(js)
+        succ_indptr.append(len(succ_list))
+
+    return ScheduleGraph(
+        problem=problem,
+        fingerprint=token,
+        ops=tuple(ops),
+        kind=tuple(kind_arr),
+        cell=tuple(cell_arr),
+        gemm=tuple(gemm_arr),
+        stage=tuple(stage_arr),
+        pos=tuple(pos_arr),
+        stage_bounds=tuple(stage_bounds),
+        pred_indptr=tuple(pred_indptr),
+        pred=tuple(pred_list),
+        pred_cross=tuple(cross_list),
+        succ_indptr=tuple(succ_indptr),
+        succ=tuple(succ_list),
+    )

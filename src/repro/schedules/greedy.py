@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.schedules.base import (
@@ -148,7 +149,7 @@ class _StageState:
     #: themselves run yet, with their arrival times.
     avail_f: dict[OpId, float] = field(default_factory=dict)
     avail_b: dict[OpId, float] = field(default_factory=dict)
-    wgrad_queue: list[OpId] = field(default_factory=list)
+    wgrad_queue: deque[OpId] = field(default_factory=deque)
     #: Remaining (not yet run) F op count per micro-batch, for the
     #: front-micro-batch cap reservation.
     pending_f_by_mb: list[int] = field(default_factory=list)
@@ -214,62 +215,114 @@ def _greedy_once(
     cost: CostModel | None,
     name: str,
 ) -> Schedule:
-    from repro.sim.cost import UniformCost
+    from repro.sim.cost import UniformCost, op_cost_fns
 
     cost = cost or UniformCost(problem)
+    # Memoized per-op-shape planning costs (identical values; see
+    # op_cost_fns) — the generator probes durations and comm times for
+    # every op and edge, which dominates sweep time otherwise.
+    dur_fn, comm_fn, _act_fn = op_cost_fns(cost)
     num_stages = problem.num_stages
     n = problem.num_microbatches
+    s = problem.num_slices
+    chunks = problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms
+    cells = n * s * chunks
+    total = 2 * cells + (cells * gemms if split else 0)
+    stage_of_chunk = problem._placement_tables[0]
 
     states = [
         _StageState(
-            stage=s,
-            cap=stage_cap(problem, policy, s),
+            stage=st,
+            cap=stage_cap(problem, policy, st),
             pending_f_by_mb=[0] * n,
             pending_b_by_mb=[0] * n,
         )
-        for s in range(num_stages)
+        for st in range(num_stages)
     ]
 
-    all_ops = problem.all_ops()
-    deps_of: dict[OpId, list[OpId]] = {op: problem.deps(op) for op in all_ops}
-    dependents: dict[OpId, list[OpId]] = {}
-    unmet: dict[OpId, int] = {}
-    arrival: dict[OpId, float] = {op: 0.0 for op in all_ops}
-    stage_of: dict[OpId, int] = {op: problem.stage_of(op) for op in all_ops}
-    for op, deps in deps_of.items():
-        unmet[op] = len(deps)
-        for dep in deps:
-            dependents.setdefault(dep, []).append(op)
+    # Dense tables indexed by canonical op code (the compiled
+    # ScheduleGraph's layout): F -> base, B -> cells + base,
+    # W(g) -> 2*cells + base*gemms + g, with base=(mb*s+sl)*chunks+c.
+    # Arithmetic codes keep the hot loop free of OpId hashing; the
+    # OpId objects themselves are built once, for programs and cost
+    # probes.
+    ops_by_code: list[OpId] = [None] * total  # type: ignore[list-item]
+    stage_by_code = [0] * total
+    unmet = [0] * total
+    arrival = [0.0] * total
+    succ_by_code: list[list[int]] = [[] for _ in range(total)]
 
-    wgrads: dict[tuple[int, int, int], list[OpId]] = {}
-    for op in all_ops:
-        if op.kind is OpKind.F:
-            states[stage_of[op]].pending_f_by_mb[op.microbatch] += 1
-        elif op.kind is OpKind.B:
-            states[stage_of[op]].pending_b_by_mb[op.microbatch] += 1
-        else:
-            wgrads.setdefault((op.microbatch, op.slice_idx, op.chunk), []).append(op)
+    for mb in range(n):
+        for sl in range(s):
+            row = (mb * s + sl) * chunks
+            for c in range(chunks):
+                base = row + c
+                stage = stage_of_chunk[c]
+                ops_by_code[base] = OpId(OpKind.F, mb, sl, c)
+                ops_by_code[cells + base] = OpId(OpKind.B, mb, sl, c)
+                stage_by_code[base] = stage
+                stage_by_code[cells + base] = stage
+                states[stage].pending_f_by_mb[mb] += 1
+                states[stage].pending_b_by_mb[mb] += 1
+                if split:
+                    w0 = 2 * cells + base * gemms
+                    for g in range(gemms):
+                        ops_by_code[w0 + g] = OpId(OpKind.W, mb, sl, c, g)
+                        stage_by_code[w0 + g] = stage
 
-    def publish(op: OpId) -> None:
+    # Dependency transpose, consumers visited in ascending code order so
+    # successor lists (and therefore wake-event tiebreaks) match the
+    # order a dict-of-OpId build over ``problem.all_ops()`` produces.
+    for base in range(cells):
+        c = base % chunks
+        sl = (base // chunks) % s
+        if c > 0:
+            succ_by_code[base - 1].append(base)
+            unmet[base] += 1
+        if sl > 0:
+            succ_by_code[base - chunks].append(base)
+            unmet[base] += 1
+    for base in range(cells):
+        c = base % chunks
+        sl = (base // chunks) % s
+        code = cells + base
+        succ_by_code[base].append(code)
+        unmet[code] += 1
+        if c < chunks - 1:
+            succ_by_code[cells + base + 1].append(code)
+            unmet[code] += 1
+        if sl < s - 1:
+            succ_by_code[cells + base + chunks].append(code)
+            unmet[code] += 1
+    if split:
+        for base in range(cells):
+            w0 = 2 * cells + base * gemms
+            for g in range(gemms):
+                succ_by_code[cells + base].append(w0 + g)
+                unmet[w0 + g] = 1
+
+    def publish(code: int, op: OpId) -> None:
         """Move a zero-unmet F/B op into its stage's available set."""
-        state = states[stage_of[op]]
+        state = states[stage_by_code[code]]
         if op.kind is OpKind.F:
-            state.avail_f[op] = arrival[op]
+            state.avail_f[op] = arrival[code]
         elif op.kind is OpKind.B:
-            state.avail_b[op] = arrival[op]
+            state.avail_b[op] = arrival[code]
         # W ops are managed through the per-stage wgrad queues.
 
-    for op in all_ops:
-        if unmet[op] == 0 and op.kind is not OpKind.W:
-            publish(op)
+    # Only the F(mb, 0, 0) ops start with no dependencies.
+    for mb in range(n):
+        code = mb * s * chunks
+        publish(code, ops_by_code[code])
 
     counter = itertools.count()
     # Wake events: (time, tiebreak, stage).
     heap: list[tuple[float, int, int]] = [
-        (0.0, next(counter), s) for s in range(num_stages)
+        (0.0, next(counter), st) for st in range(num_stages)
     ]
-    remaining = len(all_ops)
-    end_time: dict[OpId, float] = {}
+    remaining = total
 
     def choose_b(state: _StageState, now: float) -> OpId | None:
         best: OpId | None = None
@@ -313,38 +366,45 @@ def _greedy_once(
     def commit(state: _StageState, op: OpId, now: float) -> None:
         nonlocal remaining
         start = max(now, state.free_at)
-        end = start + cost.duration(op)
-        end_time[op] = end
+        end = start + dur_fn(op)
         state.free_at = end
         state.program.append(op)
         remaining -= 1
+        base = (op.microbatch * s + op.slice_idx) * chunks + op.chunk
         if op.kind is OpKind.F:
+            code = base
             del state.avail_f[op]
             state.live_f += 1.0
             state.pending_f_by_mb[op.microbatch] -= 1
             state.last_main = OpKind.F
         elif op.kind is OpKind.B:
+            code = cells + base
             del state.avail_b[op]
             state.live_f -= 1.0
             state.pending_b_by_mb[op.microbatch] -= 1
             state.last_main = OpKind.B
-            if problem.split_backward:
-                key = (op.microbatch, op.slice_idx, op.chunk)
-                state.wgrad_queue.extend(wgrads[key])
+            if split:
+                w0 = 2 * cells + base * gemms
+                state.wgrad_queue.extend(
+                    ops_by_code[w0 + g] for g in range(gemms)
+                )
                 state.deferred_units += 1.0 + policy.wgrad_units
         else:
-            state.wgrad_queue.remove(op)
-            state.deferred_units -= (1.0 + policy.wgrad_units) / problem.wgrad_gemms
+            code = 2 * cells + base * gemms + op.gemm
+            # W ops are only ever committed from the queue head.
+            state.wgrad_queue.popleft()
+            state.deferred_units -= (1.0 + policy.wgrad_units) / gemms
         heapq.heappush(heap, (end, next(counter), state.stage))
-        for dependent in dependents.get(op, ()):
-            when = end + cost.comm_time(op, dependent)
-            if when > arrival[dependent]:
-                arrival[dependent] = when
-            unmet[dependent] -= 1
-            if unmet[dependent] == 0 and dependent.kind is not OpKind.W:
-                publish(dependent)
+        for dc in succ_by_code[code]:
+            dependent = ops_by_code[dc]
+            when = end + comm_fn(op, dependent)
+            if when > arrival[dc]:
+                arrival[dc] = when
+            unmet[dc] -= 1
+            if unmet[dc] == 0 and dependent.kind is not OpKind.W:
+                publish(dc, dependent)
             # Wake the consumer's stage at the arrival moment.
-            heapq.heappush(heap, (when, next(counter), stage_of[dependent]))
+            heapq.heappush(heap, (when, next(counter), stage_by_code[dc]))
 
     while remaining:
         if not heap:
@@ -390,7 +450,7 @@ def _greedy_once(
                 # about to arrive within the GEMM's runtime, otherwise
                 # the non-preemptive W would push the critical path.
                 w = state.wgrad_queue[0]
-                horizon = now + 0.5 * cost.duration(w)
+                horizon = now + 0.5 * dur_fn(w)
                 imminent = any(
                     arr <= horizon
                     for arr in itertools.chain(
@@ -403,6 +463,6 @@ def _greedy_once(
 
     return Schedule(
         problem=problem,
-        programs=[StageProgram(stage=s.stage, ops=s.program) for s in states],
+        programs=[StageProgram(stage=st.stage, ops=st.program) for st in states],
         name=name,
     )

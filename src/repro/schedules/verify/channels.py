@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.schedules.base import OpId, OpKind, Schedule
-from repro.schedules.verify.deps import ScheduleIndex
+from repro.schedules.graph import ScheduleGraph
+from repro.schedules.verify.deps import ScheduleIndex, _positions_of
 from repro.schedules.verify.diagnostics import Finding
 
 #: Cap on reorder findings per channel, to keep reports readable when a
@@ -43,10 +44,58 @@ class _Message:
     recv_pos: int  #: index of ``dst`` in the receiver's program
 
 
-def check_channels(schedule: Schedule, index: ScheduleIndex) -> list[Finding]:
-    """FIFO order and send/recv matching for every stage-pair channel."""
+_KIND_OF_CODE = (OpKind.F, OpKind.B, OpKind.W)
+
+
+def _channels_from_graph(
+    graph: ScheduleGraph,
+) -> dict[tuple[int, int, OpKind], list[_Message]]:
+    """Per-channel message lists straight from the compiled edge arrays.
+
+    Iterating ops in dense (stage-major program) order reproduces the
+    message order the positions-dict walk builds, so FIFO findings are
+    identical; the ``pred_cross`` flags replace the per-edge
+    ``is_cross_stage`` stage recomputation.
+    """
+    ops, stage, pos, kind = graph.ops, graph.stage, graph.pos, graph.kind
+    pred_indptr, pred = graph.pred_indptr, graph.pred
+    pred_cross = graph.pred_cross
+    channels: dict[tuple[int, int, OpKind], list[_Message]] = {}
+    for i in range(graph.num_ops):
+        for e in range(pred_indptr[i], pred_indptr[i + 1]):
+            if not pred_cross[e]:
+                continue
+            j = pred[e]
+            key = (stage[j], stage[i], _KIND_OF_CODE[kind[j]])
+            channels.setdefault(key, []).append(
+                _Message(ops[j], ops[i], pos[j], pos[i])
+            )
+    return channels
+
+
+def check_channels(
+    schedule: Schedule,
+    index: ScheduleIndex,
+    graph: ScheduleGraph | None = None,
+) -> list[Finding]:
+    """FIFO order and send/recv matching for every stage-pair channel.
+
+    A compiled ``graph`` certifies every op is present exactly once, so
+    the unmatched-endpoint rules (CH002/CH003) cannot fire and only the
+    FIFO order (CH001) needs checking — over the flat edge arrays.
+    """
+    if graph is not None:
+        findings: list[Finding] = []
+        for (src_stage, dst_stage, kind), messages in sorted(
+            _channels_from_graph(graph).items(),
+            key=lambda kv: (kv[0][0], kv[0][1], kv[0][2].value),
+        ):
+            findings.extend(
+                _check_fifo(src_stage, dst_stage, kind, messages)
+            )
+        return findings
     problem = schedule.problem
-    positions = index.positions
+    positions = index.positions or _positions_of(schedule)
     findings: list[Finding] = []
     channels: dict[tuple[int, int, OpKind], list[_Message]] = {}
 

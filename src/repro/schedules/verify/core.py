@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.schedules.base import Schedule, ScheduleError
+from repro.schedules.graph import ScheduleGraph, compiled_graph, fingerprint
 from repro.schedules.verify.channels import check_channels
 from repro.schedules.verify.deps import check_deadlock, check_structure
 from repro.schedules.verify.diagnostics import Finding, Report, Severity
@@ -68,15 +69,24 @@ def verify_schedule(
     # structure findings already explain why.
     orderable = not (index.has_duplicates or index.has_foreign)
 
+    # Structurally clean schedules (the hot path) get the compiled graph
+    # IR: the deadlock, channel, and liveness analyses all walk its flat
+    # arrays, and the simulator reuses the same cached graph.  Schedules
+    # with structure findings keep the legacy dict-of-OpId walks, whose
+    # diagnostics tolerate missing/duplicated/misplaced ops.
+    graph: ScheduleGraph | None = None
+    if not structure:
+        graph = compiled_graph(schedule)
+
     if "DL001" in wanted and orderable:
-        report.findings.extend(check_deadlock(schedule, index))
+        report.findings.extend(check_deadlock(schedule, index, graph))
     deadlocked = any(f.rule_id == "DL001" for f in report.findings)
 
     if wanted & {"CH001", "CH002", "CH003"} and orderable:
-        report.findings.extend(check_channels(schedule, index))
+        report.findings.extend(check_channels(schedule, index, graph))
 
     if wanted & {"LV001", "LV002", "AN001"}:
-        liveness, peaks = check_liveness(schedule, actgrad_factor)
+        liveness, peaks = check_liveness(schedule, actgrad_factor, graph)
         report.findings.extend(liveness)
         # A deadlocked schedule never reaches iteration end; its peak
         # is not comparable to the steady-state closed form.
@@ -93,19 +103,9 @@ def _filtered(report: Report, wanted: set[str]) -> Report:
     return report
 
 
-def _fingerprint(schedule: Schedule) -> int:
-    """Cheap content hash of the per-stage op orders.
-
-    Hashing every op is ~two orders of magnitude cheaper than
-    re-verifying, and unlike an op count it also invalidates the cached
-    verdict when a verified schedule is reordered in place.
-    """
-    return hash(
-        tuple(
-            (program.stage, tuple(program.ops))
-            for program in schedule.programs
-        )
-    )
+# The verdict cache shares the compiled graph's content fingerprint so
+# both invalidate together when a schedule is mutated in place.
+_fingerprint = fingerprint
 
 
 def ensure_verified(schedule: Schedule, context: str = "") -> None:

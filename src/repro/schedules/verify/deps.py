@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.schedules.base import OpId, OpKind, Schedule
+from repro.schedules.graph import ScheduleGraph
 from repro.schedules.verify.diagnostics import Finding
 
 #: BFS-per-node budget for cycle minimization; beyond this SCC size the
@@ -36,8 +37,64 @@ class ScheduleIndex:
     has_foreign: bool = False
 
 
+def _structure_clean_fast(schedule: Schedule) -> bool:
+    """Whether the schedule passes ST001-ST004 — no diagnostics.
+
+    Arithmetic membership over canonical op codes: each in-range op maps
+    to a unique integer, a bytearray marks first occurrences, and a
+    placement table replaces the per-op stage branch.  No ``OpId`` set
+    is materialized and nothing is hashed; the detailed (and allocating)
+    pass below runs only when this scan finds an anomaly.
+    """
+    problem = schedule.problem
+    n, s = problem.num_microbatches, problem.num_slices
+    chunks = problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms
+    cells = n * s * chunks
+    total = cells * 2 + (cells * gemms if split else 0)
+    stage_of_chunk = problem._placement_tables[0]
+    seen = bytearray(total)
+    count = 0
+    for program in schedule.programs:
+        stage = program.stage
+        for op in program.ops:
+            mb, sl, c, g = op.microbatch, op.slice_idx, op.chunk, op.gemm
+            if not (0 <= mb < n and 0 <= sl < s and 0 <= c < chunks):
+                return False  # ST004 foreign
+            if stage_of_chunk[c] != stage:
+                return False  # ST001 misplaced
+            base = (mb * s + sl) * chunks + c
+            kind = op.kind
+            if kind is OpKind.F:
+                if g != -1:
+                    return False
+                code = base
+            elif kind is OpKind.B:
+                if g != -1:
+                    return False
+                code = cells + base
+            else:
+                if not split or not 0 <= g < gemms:
+                    return False
+                code = 2 * cells + base * gemms + g
+            if seen[code]:
+                return False  # ST003 duplicate
+            seen[code] = 1
+            count += 1
+    return count == total  # ST002 missing otherwise
+
+
 def check_structure(schedule: Schedule) -> tuple[list[Finding], ScheduleIndex]:
-    """Placement, coverage, and duplication invariants (ST rules)."""
+    """Placement, coverage, and duplication invariants (ST rules).
+
+    Clean schedules (the hot path) are recognized by a single
+    allocation-free arithmetic scan and return an *empty*
+    :class:`ScheduleIndex` — downstream analyses use the compiled
+    :class:`~repro.schedules.graph.ScheduleGraph` instead of the
+    positions dict.  Only anomalous schedules take the detailed pass
+    that materializes positions and itemized findings.
+    """
     problem = schedule.problem
     findings: list[Finding] = []
     index = ScheduleIndex()
@@ -51,6 +108,9 @@ def check_structure(schedule: Schedule) -> tuple[list[Finding], ScheduleIndex]:
                 f"0..{problem.num_stages - 1}, got stages {stages_seen}",
             )
         )
+        return findings, index
+
+    if _structure_clean_fast(schedule):
         return findings, index
 
     expected = set(problem.all_ops())
@@ -126,8 +186,55 @@ def _edge_label(problem, src: OpId, dst: OpId) -> str:
     return "backward output (weight-gradient input)"
 
 
+def _deadlock_free_fast(graph: ScheduleGraph) -> bool:
+    """Integer Kahn pass over the compiled graph (no witness).
+
+    Counting indegrees over the CSR arrays plus the implicit
+    program-order edge; the deque holds dense indices, so the hot loop
+    touches no ``OpId`` and hashes nothing.
+    """
+    num_ops = graph.num_ops
+    pred_indptr = graph.pred_indptr
+    succ_indptr, succ = graph.succ_indptr, graph.succ
+    stage, pos = graph.stage, graph.pos
+    indeg = [0] * num_ops
+    for i in range(num_ops):
+        indeg[i] = (
+            pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
+        )
+    queue = deque(i for i in range(num_ops) if indeg[i] == 0)
+    processed = 0
+    while queue:
+        i = queue.popleft()
+        processed += 1
+        for e in range(succ_indptr[i], succ_indptr[i + 1]):
+            j = succ[e]
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                queue.append(j)
+        j = i + 1
+        if j < num_ops and stage[j] == stage[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                queue.append(j)
+    return processed == num_ops
+
+
+def _positions_of(schedule: Schedule) -> dict[OpId, tuple[int, int]]:
+    """First-occurrence positions, for diagnostic paths that skipped the
+    detailed structure pass."""
+    positions: dict[OpId, tuple[int, int]] = {}
+    for program in schedule.programs:
+        for idx, op in enumerate(program.ops):
+            if op not in positions:
+                positions[op] = (program.stage, idx)
+    return positions
+
+
 def check_deadlock(
-    schedule: Schedule, index: ScheduleIndex
+    schedule: Schedule,
+    index: ScheduleIndex,
+    graph: ScheduleGraph | None = None,
 ) -> list[Finding]:
     """Kahn ready-queue deadlock detection with a minimal-cycle witness.
 
@@ -136,9 +243,16 @@ def check_deadlock(
     violations are :func:`check_structure`'s findings, and a real
     deployment would block on the *channel*, which
     :mod:`repro.schedules.verify.channels` reports separately.
+
+    With a compiled ``graph`` (structurally clean schedule) the verdict
+    comes from an integer Kahn pass; the ``OpId``-level walk below runs
+    only to reconstruct blocked heads and the minimal-cycle witness
+    after a failed verdict, or when no graph is available.
     """
+    if graph is not None and _deadlock_free_fast(graph):
+        return []
     problem = schedule.problem
-    positions = index.positions
+    positions = index.positions or _positions_of(schedule)
     programs = [program.ops for program in schedule.programs]
 
     # Combined graph: successor lists and in-degrees over present ops.

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.schedules.base import OpId, OpKind, Schedule
+from repro.schedules.graph import KIND_B, KIND_F, ScheduleGraph
 from repro.schedules.verify.diagnostics import Finding
 
 #: Numerical slack for comparing sums of activation units against the
@@ -52,10 +53,160 @@ class StagePeak:
     peak_op: OpId | None  #: first op at which ``peak_units`` is reached
 
 
+def _check_liveness_graph(
+    graph: ScheduleGraph, actgrad_factor: float
+) -> tuple[list[Finding], list[StagePeak]]:
+    """The same per-stage walk over the compiled graph.
+
+    Keys the ``live``/``b_done`` state on the graph's integer cell
+    index instead of ``(mb, sl, c)`` tuples — no tuple allocation or
+    hashing per op — and accumulates in identical order, so peaks match
+    the dict walk bit for bit.  Ints sort like the tuples they encode,
+    so leak listings come out in the same order too.
+    """
+    problem = graph.problem
+    unit = problem.activation_units_per_op
+    gemms = problem.wgrad_gemms
+    split = problem.split_backward
+    s, chunks = problem.num_slices, problem.num_chunks
+    ops, kind, cell = graph.ops, graph.kind, graph.cell
+    findings: list[Finding] = []
+    peaks: list[StagePeak] = []
+
+    for stage, (lo, hi) in enumerate(graph.stage_bounds):
+        live: dict[int, int] = {}
+        b_done: set[int] = set()
+        current = 0.0
+        act_current = 0.0
+        peak = 0.0
+        act_peak = 0.0
+        peak_op: OpId | None = None
+        violations = 0
+
+        def violation(op: OpId, message: str, stage: int = stage) -> None:
+            nonlocal violations
+            violations += 1
+            if violations <= _MAX_DETAIL:
+                findings.append(
+                    Finding("LV001", message, stage=stage, op=op)
+                )
+
+        for i in range(lo, hi):
+            key = cell[i]
+            kc = kind[i]
+            if kc == KIND_F:
+                if key in live:
+                    op = ops[i]
+                    violation(
+                        op,
+                        f"{op} re-materializes an activation that is "
+                        f"still live (earlier forward not yet consumed)",
+                    )
+                live[key] = gemms if split else 1
+                current += unit
+                act_current += unit
+            elif kc == KIND_B:
+                if key not in live:
+                    op = ops[i]
+                    violation(
+                        op,
+                        f"{op} consumes activations of F{op.microbatch}."
+                        f"{op.slice_idx}c{op.chunk} that are not live on "
+                        f"stage {stage} (freed or never materialized)",
+                    )
+                elif key in b_done:
+                    op = ops[i]
+                    violation(
+                        op,
+                        f"{op} re-runs a backward whose activations are "
+                        f"already being drained by W GEMMs",
+                    )
+                if split:
+                    b_done.add(key)
+                    current += unit * actgrad_factor
+                else:
+                    live.pop(key, None)
+                    current -= unit
+                    act_current -= unit
+            else:  # W
+                if key not in b_done:
+                    op = ops[i]
+                    violation(
+                        op,
+                        f"{op} runs before its backward B{op.microbatch}."
+                        f"{op.slice_idx}c{op.chunk} produced the "
+                        f"activation gradients it consumes",
+                    )
+                elif key not in live or live[key] <= 0:
+                    op = ops[i]
+                    violation(
+                        op,
+                        f"{op} releases an activation share of "
+                        f"F{op.microbatch}.{op.slice_idx}c{op.chunk} that "
+                        f"was already freed (use-after-free)",
+                    )
+                else:
+                    live[key] -= 1
+                    if live[key] == 0:
+                        del live[key]
+                    current -= unit * (1.0 + actgrad_factor) / gemms
+                    act_current -= unit / gemms
+            if current > peak + 1e-12:
+                peak = current
+                peak_op = ops[i]
+            if act_current > act_peak:
+                act_peak = act_current
+
+        if violations > _MAX_DETAIL:
+            findings.append(
+                Finding(
+                    "LV001",
+                    f"... and {violations - _MAX_DETAIL} more liveness "
+                    f"violation(s) on stage {stage}",
+                    stage=stage,
+                )
+            )
+        if live:
+            leaked = sorted(live)[:_MAX_DETAIL]
+            detail = ", ".join(
+                f"F{k // (s * chunks)}.{(k // chunks) % s}c{k % chunks}"
+                for k in leaked
+            )
+            suffix = ", ..." if len(live) > _MAX_DETAIL else ""
+            findings.append(
+                Finding(
+                    "LV002",
+                    f"stage {stage} ends the iteration with {len(live)} "
+                    f"activation(s) still pinned ({detail}{suffix}); "
+                    f"~{len(live) * unit:.4f} A leaked per iteration",
+                    stage=stage,
+                    witness=tuple(
+                        f"F{k // (s * chunks)}.{(k // chunks) % s}"
+                        f"c{k % chunks}: materialized but never fully "
+                        f"released"
+                        for k in leaked
+                    ),
+                )
+            )
+        peaks.append(
+            StagePeak(
+                stage=stage,
+                peak_units=peak,
+                peak_activation_units=act_peak,
+                peak_op=peak_op,
+            )
+        )
+    return findings, peaks
+
+
 def check_liveness(
-    schedule: Schedule, actgrad_factor: float = 1.0
+    schedule: Schedule,
+    actgrad_factor: float = 1.0,
+    graph: ScheduleGraph | None = None,
 ) -> tuple[list[Finding], list[StagePeak]]:
     """Lint every stage program; returns findings and per-stage peaks."""
+    if graph is not None:
+        return _check_liveness_graph(graph, actgrad_factor)
     problem = schedule.problem
     unit = problem.activation_units_per_op
     gemms = problem.wgrad_gemms

@@ -11,7 +11,7 @@ Two implementations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Protocol
 
@@ -26,7 +26,15 @@ from repro.schedules.base import OpId, OpKind, PipelineProblem
 
 
 class CostModel(Protocol):
-    """Per-op timing interface consumed by the executor."""
+    """Per-op timing interface consumed by the executor.
+
+    Implementations may additionally set a class attribute
+    ``microbatch_invariant = True`` to declare that ``duration``,
+    ``comm_time``, and ``act_units`` do not depend on the micro-batch
+    index of their arguments; the executor and the greedy generator
+    then memoize per-op costs across micro-batches (see
+    :func:`op_cost_fns`).  Both built-in models qualify.
+    """
 
     def duration(self, op: OpId) -> float:
         """Execution time of ``op`` in seconds (or abstract units)."""
@@ -39,6 +47,53 @@ class CostModel(Protocol):
     def act_units(self, op: OpId) -> float:
         """Activation memory an F op pins, as a fraction of ``A``."""
         ...
+
+
+def op_cost_fns(cost: CostModel):
+    """``(duration, comm_time, act_units)`` callables for ``cost``.
+
+    When the model declares ``microbatch_invariant``, each callable
+    memoizes on the op coordinates *minus* the micro-batch index, so a
+    replay touches the underlying model O(kinds × slices × chunks)
+    times instead of once per op/edge.  Values are identical to direct
+    calls — the memo only removes repeated evaluation — so simulation
+    results are unchanged bit for bit.
+    """
+    if not getattr(cost, "microbatch_invariant", False):
+        return cost.duration, cost.comm_time, cost.act_units
+
+    # Keys use ``kind.value`` (an interned str with a C-level hash)
+    # rather than the enum member, whose Python-level ``__hash__`` would
+    # dominate the probe cost.
+    dur_memo: dict[tuple[str, int, int, int], float] = {}
+    comm_memo: dict[tuple, float] = {}
+    act_memo: dict[tuple[str, int, int, int], float] = {}
+
+    def duration(op: OpId) -> float:
+        key = (op.kind.value, op.slice_idx, op.chunk, op.gemm)
+        v = dur_memo.get(key)
+        if v is None:
+            v = dur_memo[key] = cost.duration(op)
+        return v
+
+    def comm_time(dep: OpId, op: OpId) -> float:
+        key = (
+            dep.kind.value, dep.slice_idx, dep.chunk, dep.gemm,
+            op.kind.value, op.slice_idx, op.chunk, op.gemm,
+        )
+        v = comm_memo.get(key)
+        if v is None:
+            v = comm_memo[key] = cost.comm_time(dep, op)
+        return v
+
+    def act_units(op: OpId) -> float:
+        key = (op.kind.value, op.slice_idx, op.chunk, op.gemm)
+        v = act_memo.get(key)
+        if v is None:
+            v = act_memo[key] = cost.act_units(op)
+        return v
+
+    return duration, comm_time, act_units
 
 
 @dataclass(frozen=True)
@@ -57,6 +112,8 @@ class UniformCost:
     tb: float = 2.0
     tw: float = 0.0
     imbalance: tuple[float, ...] = ()
+
+    microbatch_invariant = True
 
     def _scale(self, op: OpId) -> float:
         s = 1.0 / self.problem.num_slices
@@ -112,6 +169,26 @@ class ClusterCost:
     # hosts (no copy engines to spare, host-bridge contention).
     cp_overlap: float = 0.25
     dp_overlap: float = 0.5
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    microbatch_invariant = True
+
+    def __post_init__(self) -> None:
+        # Every @lru_cache probe below hashes `self`; the generated
+        # dataclass hash recurses through the model/cluster/problem
+        # dataclasses each time, which profiles as the hottest call of a
+        # planner sweep.  Freeze it at construction.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((
+                self.spec, self.config, self.cluster, self.problem,
+                self.eff, self.cp_overlap, self.dp_overlap,
+            )),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Shape helpers
@@ -143,6 +220,7 @@ class ClusterCost:
         """
         return slice_idx * (self.spec.seq_length // self.config.spp)
 
+    @lru_cache(maxsize=None)
     def _chunk_layers(self, chunk: int) -> tuple[int, bool, bool]:
         """(transformer layers, has_embedding, has_head) of a chunk.
 
@@ -216,6 +294,7 @@ class ClusterCost:
             t += self._gemm_seconds(head_slice_flops(self.spec, tokens).backward_wgrad)
         return t
 
+    @lru_cache(maxsize=None)
     def _tp_layer_overhead(self) -> float:
         """Exposed per-layer TP all-reduce time (forward direction).
 
@@ -231,6 +310,7 @@ class ClusterCost:
         act *= self.config.micro_batch_size
         return 2 * ring_all_reduce_time(act, tp, link)
 
+    @lru_cache(maxsize=None)
     def _cp_layer_overhead(self) -> float:
         """Exposed per-layer CP collective time (forward direction)."""
         cp = self.config.cp
@@ -260,16 +340,26 @@ class ClusterCost:
         return base + extra
 
     def comm_time(self, dep: OpId, op: OpId) -> float:
-        if not self.problem.is_cross_stage(dep, op):
+        stage_a = self.problem.stage_of_chunk(dep.chunk)
+        stage_b = self.problem.stage_of_chunk(op.chunk)
+        if stage_a == stage_b:
             return 0.0
+        return self._boundary_seconds(stage_a, stage_b)
+
+    @lru_cache(maxsize=None)
+    def _boundary_seconds(self, stage_a: int, stage_b: int) -> float:
+        """Transfer time of one boundary tensor between two stages.
+
+        Identical for every edge on the same stage pair, so the replay
+        loop pays one dict probe per edge instead of recomputing the
+        payload/link/sharing arithmetic.
+        """
         nbytes = (
             HALF
             * self.config.micro_batch_size
             * self.tokens_per_op
             * self.spec.hidden_size
         )
-        stage_a = self.problem.stage_of(dep)
-        stage_b = self.problem.stage_of(op)
         link = self._pp_link(stage_a, stage_b)
         # Every co-located pipeline group sends its boundary tensor at
         # roughly the same moment; an inter-node NIC is shared by all of

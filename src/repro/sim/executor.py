@@ -4,11 +4,26 @@ Given a :class:`~repro.schedules.base.Schedule` and a cost model, the
 executor computes when every op runs, how long each stage idles
 (bubbles), and the peak activation memory each stage pins — the three
 quantities the paper's analysis and evaluation revolve around.
+
+Two engines produce identical results:
+
+* ``"event"`` (default) — an event-driven ready-queue replay over the
+  compiled :class:`~repro.schedules.graph.ScheduleGraph`: per-op
+  durations and comm times are precomputed into flat arrays, indegree
+  counting makes each op ready exactly once, and a heap keyed on ready
+  time drains the queue chronologically.  O((V + E) log V), no
+  ``OpId`` hashing in the replay loop.
+* ``"fixed-point"`` — the original round-robin blocked-head scan, kept
+  as the golden reference; an op's start time is a pure function of its
+  dependencies' end times (float ``max`` is exact), and both engines
+  accumulate per-stage busy time and the activation ledger in program
+  order, so the equivalence is bit-for-bit, not approximate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from repro.schedules.base import (
     OpId,
@@ -17,7 +32,8 @@ from repro.schedules.base import (
     Schedule,
     ScheduleError,
 )
-from repro.sim.cost import CostModel
+from repro.schedules.graph import compiled_graph
+from repro.sim.cost import CostModel, op_cost_fns
 
 
 @dataclass(frozen=True)
@@ -54,6 +70,12 @@ class SimResult:
     stages: list[StageMetrics]
     makespan: float
     overhead_time: float = 0.0
+    #: Per-stage records in start-time order, filled during replay by
+    #: the event engine (or lazily on first ``stage_records`` call) so
+    #: repeated queries never rescan/re-sort the records dict.
+    stage_record_lists: list[list[OpRecord]] | None = field(
+        default=None, repr=False
+    )
 
     @property
     def iteration_time(self) -> float:
@@ -80,10 +102,20 @@ class SimResult:
         return max(s.peak_activation_units for s in self.stages)
 
     def stage_records(self, stage: int) -> list[OpRecord]:
-        """Records of one stage in start-time order."""
-        out = [r for r in self.records.values() if r.stage == stage]
-        out.sort(key=lambda r: r.start)
-        return out
+        """Records of one stage in start-time order.
+
+        Returns the cached per-stage list (built once); treat it as
+        read-only.
+        """
+        lists = self.stage_record_lists
+        if lists is None:
+            lists = [[] for _ in self.stages]
+            for record in self.records.values():
+                lists[record.stage].append(record)
+            for records in lists:
+                records.sort(key=lambda r: r.start)
+            self.stage_record_lists = lists
+        return lists[stage]
 
 
 @dataclass
@@ -122,20 +154,171 @@ def simulate(
     cost: CostModel,
     overhead_time: float = 0.0,
     actgrad_factor: float = 1.0,
+    engine: str = "event",
 ) -> SimResult:
     """Replay ``schedule`` under ``cost`` and collect metrics.
 
-    The replay is a list-scheduling fixed point: each stage executes its
-    program strictly in order; an op starts when the stage is free and
-    every dependency has completed (plus transfer time for cross-stage
-    edges).  The schedule is statically verified on entry (placement,
-    coverage, deadlock-freedom — cached if the builder already checked
-    it), so a malformed schedule raises :class:`ScheduleError` with a
-    diagnostic report instead of wedging the replay.
+    Each stage executes its program strictly in order; an op starts when
+    the stage is free and every dependency has completed (plus transfer
+    time for cross-stage edges).  The schedule is statically verified on
+    entry (placement, coverage, deadlock-freedom — cached if the builder
+    already checked it), so a malformed schedule raises
+    :class:`ScheduleError` with a diagnostic report instead of wedging
+    the replay.
+
+    ``engine`` selects the replay implementation (see module
+    docstring); both produce identical results.
     """
     from repro.schedules.verify import ensure_verified
 
     ensure_verified(schedule, context="simulate")
+    if engine == "event":
+        return _simulate_event(schedule, cost, overhead_time, actgrad_factor)
+    if engine == "fixed-point":
+        return _simulate_fixed_point(
+            schedule, cost, overhead_time, actgrad_factor
+        )
+    raise ValueError(f"unknown simulation engine {engine!r}")
+
+
+def _simulate_event(
+    schedule: Schedule,
+    cost: CostModel,
+    overhead_time: float,
+    actgrad_factor: float,
+) -> SimResult:
+    """Event-driven replay over the compiled graph (see module docstring)."""
+    problem = schedule.problem
+    graph = compiled_graph(schedule)
+    num_ops = graph.num_ops
+    ops = graph.ops
+    stage_arr = graph.stage
+    pos = graph.pos
+    pred_indptr, pred = graph.pred_indptr, graph.pred
+    succ_indptr, succ = graph.succ_indptr, graph.succ
+
+    # Flat per-op/per-edge cost tables.  comm is evaluated for every
+    # dependency edge, exactly as the fixed-point engine probes it, so
+    # cost models that charge same-stage transfers behave identically.
+    # Models declaring microbatch invariance are probed once per op
+    # shape and the value replayed across micro-batches (same floats).
+    dur_fn, comm_fn, act_fn = op_cost_fns(cost)
+    duration = [dur_fn(op) for op in ops]
+    act_units = [act_fn(op) for op in ops]
+    comm = [0.0] * len(pred)
+    for i in range(num_ops):
+        op = ops[i]
+        for e in range(pred_indptr[i], pred_indptr[i + 1]):
+            comm[e] = comm_fn(ops[pred[e]], op)
+
+    # Indegree = dependency edges + the implicit program-order edge.
+    indeg = [0] * num_ops
+    for i in range(num_ops):
+        indeg[i] = (
+            pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
+        )
+
+    # When an op's last constraint resolves, its start time is final:
+    # the max of its program predecessor's end and each dependency's
+    # end + comm (float max is exact and order-independent, which is
+    # what makes the engines bit-for-bit equal).
+    start = [0.0] * num_ops
+    end = [0.0] * num_ops
+    heap: list[tuple[float, int]] = []
+    for i in range(num_ops):
+        if indeg[i] == 0:
+            start[i] = 0.0
+            end[i] = duration[i]
+            heappush(heap, (0.0, i))
+
+    processed = 0
+    while heap:
+        _, i = heappop(heap)
+        processed += 1
+        for e in range(succ_indptr[i], succ_indptr[i + 1]):
+            j = succ[e]
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                _schedule_ready(
+                    j, pos, pred_indptr, pred, comm, end, start, duration,
+                    heap,
+                )
+        j = i + 1
+        if j < num_ops and stage_arr[j] == stage_arr[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                _schedule_ready(
+                    j, pos, pred_indptr, pred, comm, end, start, duration,
+                    heap,
+                )
+    if processed != num_ops:
+        # Unreachable after ensure_verified; defensive guard.
+        stuck = [str(ops[i]) for i in range(num_ops) if indeg[i] > 0][:8]
+        raise ScheduleError(f"simulation deadlock; blocked ops: {stuck}")
+
+    # Per-stage accumulation in program order, matching the fixed-point
+    # engine's float summation order for busy time and the ledger.
+    records: dict[OpId, OpRecord] = {}
+    rec_lists: list[list[OpRecord]] = []
+    metrics: list[StageMetrics] = []
+    stage_ends: list[float] = []
+    for s, (lo, hi) in enumerate(graph.stage_bounds):
+        m = StageMetrics(stage=s)
+        ledger = _Ledger(problem=problem, actgrad_factor=actgrad_factor)
+        stage_list: list[OpRecord] = []
+        for i in range(lo, hi):
+            op = ops[i]
+            record = OpRecord(op=op, stage=s, start=start[i], end=end[i])
+            records[op] = record
+            stage_list.append(record)
+            m.busy_time += duration[i]
+            m.op_count += 1
+            ledger.apply(op, act_units[i])
+        m.peak_activation_units = ledger.peak
+        metrics.append(m)
+        rec_lists.append(stage_list)
+        stage_ends.append(end[hi - 1] if hi > lo else 0.0)
+    makespan = max(stage_ends) if stage_ends else 0.0
+    return SimResult(
+        schedule_name=schedule.name,
+        problem=problem,
+        records=records,
+        stages=metrics,
+        makespan=makespan,
+        overhead_time=overhead_time,
+        stage_record_lists=rec_lists,
+    )
+
+
+def _schedule_ready(
+    j: int,
+    pos: tuple[int, ...],
+    pred_indptr: tuple[int, ...],
+    pred: tuple[int, ...],
+    comm: list[float],
+    end: list[float],
+    start: list[float],
+    duration: list[float],
+    heap: list[tuple[float, int]],
+) -> None:
+    """Finalize op ``j``'s start/end now that its last constraint resolved."""
+    t = end[j - 1] if pos[j] > 0 else 0.0
+    for e in range(pred_indptr[j], pred_indptr[j + 1]):
+        ready = end[pred[e]] + comm[e]
+        if ready > t:
+            t = ready
+    start[j] = t
+    end[j] = t + duration[j]
+    heappush(heap, (t, j))
+
+
+def _simulate_fixed_point(
+    schedule: Schedule,
+    cost: CostModel,
+    overhead_time: float,
+    actgrad_factor: float,
+) -> SimResult:
+    """The original list-scheduling fixed point (golden reference)."""
     problem = schedule.problem
     num_stages = problem.num_stages
     programs = [schedule.stage_ops(s) for s in range(num_stages)]

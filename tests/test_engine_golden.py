@@ -1,0 +1,111 @@
+"""Golden equivalence: the event engine replays the fixed-point engine.
+
+The event-driven executor must be a pure speedup — not an
+approximation — of the original fixed-point replay.  These tests
+compare the two engines bit-for-bit (op records, makespan, per-stage
+busy time and activation peaks) across the acceptance grid from
+``tests/test_verify.py``, under the uniform cost model, an imbalanced
+one, the calibrated cluster model, and a custom model that charges
+same-stage communication (exercising the executor's promise to probe
+``comm_time`` on every dependency edge).
+"""
+
+import pytest
+
+from repro.hardware.cluster import RTX4090_CLUSTER
+from repro.model.spec import LLAMA_13B
+from repro.parallel.strategies import ParallelConfig
+from repro.schedules.base import OpId
+from repro.schedules.methods import build_problem, build_schedule
+from repro.sim.cost import ClusterCost, UniformCost
+from repro.sim.executor import simulate
+
+from tests.test_verify import golden_grid
+
+
+def assert_bitwise_equal(a, b):
+    assert a.records == b.records
+    assert a.makespan == b.makespan
+    assert [s.busy_time for s in a.stages] == [s.busy_time for s in b.stages]
+    assert [s.peak_activation_units for s in a.stages] == [
+        s.peak_activation_units for s in b.stages
+    ]
+    assert [s.op_count for s in a.stages] == [s.op_count for s in b.stages]
+
+
+@pytest.mark.parametrize(
+    "method,p,n,s,v,g", list(golden_grid()), ids=lambda val: str(val)
+)
+def test_engines_agree_on_golden_grid(method, p, n, s, v, g):
+    problem = build_problem(
+        method, p, n, num_slices=s, virtual_size=v, wgrad_gemms=g
+    )
+    schedule = build_schedule(method, problem)
+    cost = UniformCost(problem, tw=0.5, imbalance=tuple(
+        1.0 + 0.1 * i for i in range(s)
+    ))
+    event = simulate(schedule, cost, engine="event")
+    fixed = simulate(schedule, cost, engine="fixed-point")
+    assert_bitwise_equal(event, fixed)
+
+
+def test_engines_agree_under_cluster_cost():
+    config = ParallelConfig(dp=8, pp=8, spp=4)
+    problem = build_problem("mepipe", 8, 16, num_slices=4, wgrad_gemms=2)
+    cost = ClusterCost(
+        spec=LLAMA_13B,
+        config=config,
+        cluster=RTX4090_CLUSTER,
+        problem=problem,
+    )
+    schedule = build_schedule("mepipe", problem, cost=cost)
+    event = simulate(schedule, cost, engine="event")
+    fixed = simulate(schedule, cost, engine="fixed-point")
+    assert_bitwise_equal(event, fixed)
+
+
+class _EdgeTaxCost:
+    """Charges every dependency edge — including same-stage ones — and
+    is deliberately *not* declared micro-batch invariant."""
+
+    def __init__(self, problem):
+        self.problem = problem
+
+    def duration(self, op: OpId) -> float:
+        return 1.0 + 0.25 * (op.microbatch % 3)
+
+    def comm_time(self, dep: OpId, op: OpId) -> float:
+        return 0.125 + 0.0625 * ((dep.microbatch + op.chunk) % 2)
+
+    def act_units(self, op: OpId) -> float:
+        return 1.0
+
+
+def test_engines_agree_with_edge_charging_cost():
+    problem = build_problem("mepipe", 4, 8, num_slices=2, wgrad_gemms=2)
+    schedule = build_schedule("mepipe", problem)
+    cost = _EdgeTaxCost(problem)
+    event = simulate(schedule, cost, engine="event")
+    fixed = simulate(schedule, cost, engine="fixed-point")
+    assert_bitwise_equal(event, fixed)
+
+
+def test_unknown_engine_rejected():
+    problem = build_problem("dapple", 2, 4)
+    schedule = build_schedule("dapple", problem)
+    with pytest.raises(ValueError, match="unknown simulation engine"):
+        simulate(schedule, UniformCost(problem), engine="bogus")
+
+
+def test_stage_records_cached_and_sorted():
+    problem = build_problem("mepipe", 4, 8, num_slices=2, wgrad_gemms=2)
+    schedule = build_schedule("mepipe", problem)
+    cost = UniformCost(problem)
+    for engine in ("event", "fixed-point"):
+        result = simulate(schedule, cost, engine=engine)
+        for stage in range(problem.num_stages):
+            records = result.stage_records(stage)
+            assert records is result.stage_records(stage)  # cached
+            starts = [r.start for r in records]
+            assert starts == sorted(starts)
+            assert len(records) == result.stages[stage].op_count

@@ -1,0 +1,199 @@
+"""Parallel fan-out, on-disk sweep cache, and the skipped-config trail.
+
+The contract under test: a grid search returns the identical best
+config, evaluation trail, and skip reasons for every worker count and
+cache state — parallelism and caching are pure wall-clock
+optimizations.
+"""
+
+import json
+
+import pytest
+
+from repro.hardware.cluster import RTX4090_CLUSTER
+from repro.model.spec import LLAMA_13B
+from repro.parallel.strategies import ParallelConfig
+from repro.planner.parallel import (
+    CACHE_SCHEMA,
+    EvalOutcome,
+    EvalTask,
+    SweepCache,
+    eval_fingerprint,
+    evaluate_tasks,
+    merge_outcomes,
+)
+from repro.planner.search import search_method
+
+GBS = 64
+
+
+def _task(config=None, method="mepipe", gbs=GBS):
+    config = config or ParallelConfig(dp=8, pp=8, spp=2)
+    return EvalTask(method, LLAMA_13B, RTX4090_CLUSTER, config, gbs)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_stable_and_input_sensitive():
+    base = _task()
+    assert eval_fingerprint(base) == eval_fingerprint(_task())
+    assert eval_fingerprint(base) != eval_fingerprint(_task(gbs=128))
+    assert eval_fingerprint(base) != eval_fingerprint(_task(method="svpp"))
+    assert eval_fingerprint(base) != eval_fingerprint(
+        _task(config=ParallelConfig(dp=4, pp=16, spp=2))
+    )
+
+
+# ----------------------------------------------------------------------
+# SweepCache
+# ----------------------------------------------------------------------
+def test_cache_round_trips_results_and_errors(tmp_path):
+    cache = SweepCache(tmp_path)
+    task = _task()
+    assert cache.get(task) is None
+
+    outcome = evaluate_tasks([task], cache=cache)[0]
+    assert outcome.ok
+    hit = cache.get(task)
+    assert hit is not None and hit.ok
+    assert hit.result == outcome.result
+
+    bad = _task(config=ParallelConfig(dp=8, pp=8, spp=3))  # seq not divisible
+    (bad_outcome,) = evaluate_tasks([bad], cache=cache)
+    assert not bad_outcome.ok
+    cached_bad = cache.get(bad)
+    assert cached_bad is not None and not cached_bad.ok
+    assert cached_bad.error == bad_outcome.error
+
+
+def test_cache_tolerates_corrupt_and_stale_entries(tmp_path):
+    cache = SweepCache(tmp_path)
+    task = _task()
+    evaluate_tasks([task], cache=cache)
+    path = tmp_path / f"{eval_fingerprint(task)}.json"
+    assert path.exists()
+
+    path.write_text("{ not json")
+    assert cache.get(task) is None  # corrupt -> miss, no raise
+
+    entry = {"schema": CACHE_SCHEMA - 1, "status": "ok", "result": {}}
+    path.write_text(json.dumps(entry))
+    assert cache.get(task) is None  # stale schema -> miss
+
+    # And a re-run repairs the entry.
+    evaluate_tasks([task], cache=cache)
+    assert cache.get(task) is not None
+
+
+def test_cache_kill_switch(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", "0")
+    cache = SweepCache(tmp_path)
+    task = _task()
+    evaluate_tasks([task], cache=cache)
+    assert not list(tmp_path.iterdir())
+    assert cache.get(task) is None
+
+
+def test_cache_dir_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    cache = SweepCache()
+    assert cache.root == tmp_path / "elsewhere"
+
+
+# ----------------------------------------------------------------------
+# Deterministic fan-out and merge
+# ----------------------------------------------------------------------
+def test_jobs_do_not_change_search_outcome(tmp_path):
+    """--jobs 1 and --jobs 4 produce identical best, trail, and skips."""
+    results = {
+        jobs: search_method(
+            "mepipe", LLAMA_13B, RTX4090_CLUSTER, GBS, jobs=jobs
+        )
+        for jobs in (1, 4)
+    }
+    assert results[1].best == results[4].best
+    assert results[1].evaluated == results[4].evaluated
+    assert [(s.config, s.reason) for s in results[1].skipped] == [
+        (s.config, s.reason) for s in results[4].skipped
+    ]
+
+
+def test_cache_does_not_change_search_outcome(tmp_path):
+    cache = SweepCache(tmp_path)
+    cold = search_method("zb", LLAMA_13B, RTX4090_CLUSTER, GBS, cache=cache)
+    assert cache.misses > 0 and cache.hits == 0
+    warm = search_method("zb", LLAMA_13B, RTX4090_CLUSTER, GBS, cache=cache)
+    assert cache.hits > 0
+    assert warm.best == cold.best
+    assert warm.evaluated == cold.evaluated
+
+
+def test_merge_tie_breaks_on_config_sort_key():
+    def result_for(config, t):
+        from repro.planner.evaluate import EvalResult
+
+        return EvalOutcome(
+            result=EvalResult(
+                method="x",
+                config=config,
+                iteration_time_s=t,
+                bubble_ratio=0.0,
+                peak_memory_bytes=0,
+                activation_bytes=0,
+                oom=False,
+                tflops_per_gpu=0.0,
+                mfu=0.0,
+            )
+        )
+
+    small = ParallelConfig(dp=2, pp=2)
+    large = ParallelConfig(dp=4, pp=1)
+    # Equal times: the smaller sort key must win regardless of order.
+    for order in ([small, large], [large, small]):
+        best, evaluated = merge_outcomes([result_for(c, 1.0) for c in order])
+        assert best is not None and best.config == small
+        assert len(evaluated) == 2
+
+
+# ----------------------------------------------------------------------
+# Skip trail
+# ----------------------------------------------------------------------
+def test_search_records_skips_with_reasons():
+    result = search_method("mepipe", LLAMA_13B, RTX4090_CLUSTER, GBS)
+    assert result.skipped, "expected statically pruned candidates"
+    for skip in result.skipped:
+        assert skip.reason
+    assert any("static memory" in s.reason for s in result.skipped)
+    # Trail + skips cover disjoint configs.
+    evaluated = {r.config for r in result.evaluated}
+    assert evaluated.isdisjoint({s.config for s in result.skipped})
+
+
+def test_rejected_configs_carry_rejection_reason(tmp_path):
+    """An evaluation-time rejection lands in the trail, cached or not."""
+    task = _task(config=ParallelConfig(dp=8, pp=8, spp=3))
+    cache = SweepCache(tmp_path)
+    (outcome,) = evaluate_tasks([task], cache=cache)
+    assert not outcome.ok
+    assert outcome.error
+    (replayed,) = evaluate_tasks([task], cache=cache)
+    assert replayed.error == outcome.error
+
+
+def test_search_result_backward_compatible_construction():
+    from repro.planner.search import SearchResult
+
+    empty = SearchResult(method="x", best=None, evaluated=[])
+    assert empty.skipped == []
+    assert not empty.all_oom
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_process_pool_path_smoke(jobs):
+    tasks = [
+        _task(config=ParallelConfig(dp=8, pp=8, spp=spp)) for spp in (1, 2)
+    ]
+    outcomes = evaluate_tasks(tasks, jobs=jobs)
+    assert len(outcomes) == 2
+    assert all(o.ok for o in outcomes)
