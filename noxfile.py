@@ -4,26 +4,41 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
 
     ruff check src tests
     ruff format --check src tests
-    mypy src/repro/schedules
+    mypy src/repro/schedules src/repro/nn
+    mypy --strict src/repro/analysis
     PYTHONPATH=src python -m pytest -x -q
+    python -m repro check-model grid
 """
 
 import nox
 
-nox.options.sessions = ["lint", "tests"]
+nox.options.sessions = ["lint", "analysis", "tests"]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
 LINT_TARGETS = ("src", "tests")
-TYPED_TARGETS = ("src/repro/schedules",)
+TYPED_TARGETS = ("src/repro/schedules", "src/repro/nn")
 
 
 @nox.session
 def lint(session: nox.Session) -> None:
-    """Static checks: ruff lint + format drift + mypy on the schedules layer."""
+    """Static checks: ruff lint + format drift + mypy on the typed layers."""
     session.install("-e", ".[lint]")
     session.run("ruff", "check", *LINT_TARGETS)
     session.run("ruff", "format", "--check", *LINT_TARGETS)
     session.run("mypy", *TYPED_TARGETS)
+
+
+@nox.session
+def analysis(session: nox.Session) -> None:
+    """The model-analyzer gate: strict typing plus the acceptance grid.
+
+    ``check-model grid`` proves shape/interface agreement, gradient
+    coverage, and hazard freedom for every E0 (method × partition)
+    pair; it exits non-zero on any ERROR-severity finding.
+    """
+    session.install("-e", ".[lint]")
+    session.run("mypy", "--strict", "src/repro/analysis")
+    session.run("python", "-m", "repro", "check-model", "grid")
 
 
 @nox.session

@@ -1,0 +1,70 @@
+"""Static analysis of the (model partition, schedule) pair.
+
+Abstract-interprets the partitioned model over a symbolic tensor IR —
+no numerics — and proves shape/interface agreement (SH rules), gradient
+coverage of the deferred weight-gradient queues (GC rules), and
+happens-before hazard freedom (HZ rules).  See ``docs/analysis.md`` for
+the pass and rule catalogue, and ``python -m repro check-model`` for
+the CLI.
+"""
+
+from repro.analysis.core import (
+    ModelAnalysisError,
+    analyze_model,
+    analyze_partition,
+    analyze_spec,
+    ensure_model_verified,
+    interface_report,
+    model_program,
+)
+from repro.analysis.coverage import check_coverage
+from repro.analysis.extract import (
+    component_spec,
+    partition_from_model,
+    partition_from_spec,
+)
+from repro.analysis.hazards import check_hazards
+from repro.analysis.ir import (
+    ChunkSpec,
+    ComponentSpec,
+    PartitionSpec,
+    SymTensor,
+)
+from repro.analysis.memory import StageMemory, infer_stage_memory
+from repro.analysis.program import ModelProgram, TaskRef, build_program
+from repro.analysis.rules import (
+    COVERAGE_RULES,
+    HAZARD_RULES,
+    MODEL_RULES,
+    SHAPE_RULES,
+)
+from repro.analysis.shapes import check_shapes
+
+__all__ = [
+    "COVERAGE_RULES",
+    "HAZARD_RULES",
+    "MODEL_RULES",
+    "SHAPE_RULES",
+    "ChunkSpec",
+    "ComponentSpec",
+    "ModelAnalysisError",
+    "ModelProgram",
+    "PartitionSpec",
+    "StageMemory",
+    "SymTensor",
+    "TaskRef",
+    "analyze_model",
+    "analyze_partition",
+    "analyze_spec",
+    "build_program",
+    "check_coverage",
+    "check_hazards",
+    "check_shapes",
+    "component_spec",
+    "ensure_model_verified",
+    "infer_stage_memory",
+    "interface_report",
+    "model_program",
+    "partition_from_model",
+    "partition_from_spec",
+]

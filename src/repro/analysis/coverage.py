@@ -1,0 +1,156 @@
+"""Pass 2: the gradient-coverage proof (GC rules).
+
+MEPipe's central correctness obligation (Section 5): splitting the
+backward into B (activation gradients) and deferred, fine-grained W
+GEMMs must not lose, duplicate, or reorder any parameter-gradient
+contribution.  This pass proves it statically from the joined
+:class:`~repro.analysis.program.ModelProgram`:
+
+* **GC001 / GC002** — for every (micro-batch, slice, chunk) cell, each
+  live parameter of the chunk appears in the cell's wgrad task queue
+  exactly once.  The expected set comes from the components' parameter
+  tables, the actual set from the queues their backwards declare — a
+  component whose backward forgets (or double-queues) a task is caught
+  before any gradient is computed.
+* **GC003** — the runtime splits each cell's queue round-robin into
+  ``wgrad_gemms`` groups (``tasks[i::g]``); every non-empty group must
+  have its W op scheduled, or the queue cannot drain by iteration end.
+* **GC004** — every W op is happens-before-ordered after the B op that
+  produces the activation gradients its GEMMs read.
+
+Monolithic-backward methods run the queue inline at B, so only
+GC001/GC002 apply to them.
+"""
+
+from __future__ import annotations
+
+import repro.analysis.rules  # noqa: F401  (registers the GC rules)
+from repro.analysis.program import ModelProgram
+from repro.schedules.verify.diagnostics import Finding
+
+
+def _cell_of(mb: int, sl: int, c: int, s: int, chunks: int) -> int:
+    return (mb * s + sl) * chunks + c
+
+
+def check_coverage(program: ModelProgram) -> list[Finding]:
+    """Prove gradient coverage; returns the violations found."""
+    graph = program.graph
+    problem = graph.problem
+    n, s, chunks = problem.num_microbatches, problem.num_slices, problem.num_chunks
+    gemms = problem.wgrad_gemms if problem.split_backward else 1
+    findings: list[Finding] = []
+    seen_missing: set[tuple[int, str]] = set()
+    seen_dup: set[tuple[int, str]] = set()
+    seen_undrained: set[int] = set()
+
+    for c, chunk in enumerate(program.partition.chunks):
+        tasks = program.chunk_tasks[c]
+        declared = [t.render() for t in tasks]
+        counts: dict[str, int] = {}
+        for key in declared:
+            counts[key] = counts.get(key, 0) + 1
+        expected = [
+            f"{comp.name}.{param}"
+            for comp in chunk.components
+            for param, _shape in comp.param_shapes
+        ]
+
+        for mb in range(n):
+            for sl in range(s):
+                cell = _cell_of(mb, sl, c, s, chunks)
+                b_op = program.b_of.get(cell)
+                b_id = graph.ops[b_op] if b_op is not None else None
+
+                for key in expected:
+                    got = counts.get(key, 0)
+                    if got == 0 and (c, key) not in seen_missing:
+                        seen_missing.add((c, key))
+                        findings.append(
+                            Finding(
+                                "GC001",
+                                f"parameter {key} of chunk {c} receives no "
+                                f"weight-gradient contribution in "
+                                f"micro-batch {mb} slice {sl}",
+                                stage=graph.stage[b_op] if b_op is not None else None,
+                                op=b_id,
+                                witness=(
+                                    f"backward {b_id} queues: "
+                                    + (", ".join(declared) or "(nothing)"),
+                                    f"live parameters expect: {key}",
+                                ),
+                            )
+                        )
+                    elif got > 1 and (c, key) not in seen_dup:
+                        seen_dup.add((c, key))
+                        findings.append(
+                            Finding(
+                                "GC002",
+                                f"parameter {key} of chunk {c} receives {got} "
+                                f"weight-gradient contributions in "
+                                f"micro-batch {mb} slice {sl}",
+                                stage=graph.stage[b_op] if b_op is not None else None,
+                                op=b_id,
+                                witness=(
+                                    f"backward {b_id} queues {key} "
+                                    f"{got} times",
+                                ),
+                            )
+                        )
+
+                if not problem.split_backward:
+                    continue
+
+                # Round-robin drain: task at queue position p belongs to
+                # W-op gemm p % gemms (PipelineRuntime's tasks[i::g]).
+                w_ops = program.w_of.get(cell, {})
+                for g in range(gemms):
+                    group = [t.render() for t in tasks[g::gemms]]
+                    if not group:
+                        continue
+                    if g in w_ops:
+                        continue
+                    if c in seen_undrained:
+                        continue
+                    seen_undrained.add(c)
+                    findings.append(
+                        Finding(
+                            "GC003",
+                            f"wgrad queue of micro-batch {mb} slice {sl} "
+                            f"chunk {c} never drains: no W op executes gemm "
+                            f"group {g}",
+                            stage=graph.stage[b_op] if b_op is not None else None,
+                            op=b_id,
+                            witness=(
+                                f"group {g} holds: " + ", ".join(group),
+                                f"scheduled W gemm groups for the cell: "
+                                f"{sorted(w_ops) or '(none)'}",
+                            ),
+                        )
+                    )
+
+                if b_op is None:
+                    continue
+                for g, w_op in sorted(w_ops.items()):
+                    if program.happens_before(b_op, w_op):
+                        continue
+                    w_id = graph.ops[w_op]
+                    findings.append(
+                        Finding(
+                            "GC004",
+                            f"{w_id} is not ordered after its backward "
+                            f"{b_id}: the W GEMMs would read activation "
+                            f"gradients that are not yet produced",
+                            stage=graph.stage[w_op],
+                            op=w_id,
+                            witness=(
+                                f"write: {b_id} (stage {graph.stage[b_op]}, "
+                                f"position {graph.pos[b_op]})",
+                                f"read:  {w_id} (stage {graph.stage[w_op]}, "
+                                f"position {graph.pos[w_op]})",
+                                "no happens-before path orders the read "
+                                "after the write",
+                            ),
+                        )
+                    )
+    return findings

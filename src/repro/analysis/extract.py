@@ -1,0 +1,176 @@
+"""Derive a :class:`~repro.analysis.ir.PartitionSpec` from a model.
+
+Two sources, one abstract form:
+
+* :func:`partition_from_model` reads a live
+  :class:`~repro.nn.model.TransformerModel` — the pipeline runtime uses
+  this so the analyzer proves properties of the *actual* partitioned
+  components it is about to execute;
+* :func:`partition_from_spec` builds the same description straight from
+  a :class:`~repro.model.spec.ModelSpec` without allocating a single
+  array — the planner and the ``check-model`` CLI use this to reject
+  configurations whose partition cannot interface-check, long before
+  any numerics exist.
+
+Both apply the same contiguous balanced split as
+:meth:`TransformerModel.partition`, so the abstract chunks line up
+one-to-one with the chunks the runtime executes.
+
+The ``wgrad_params`` orders recorded here must match the order each
+component's ``backward`` queues its weight-gradient tasks
+(``repro/nn/layers.py``); the gradient-coverage pass joins the
+schedule's W ops against these tuples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ir import ChunkSpec, ComponentSpec, PartitionSpec
+from repro.model.spec import ModelSpec
+from repro.nn.layers import Component, DecoderLayer, Embedding, LossHead
+from repro.nn.model import TransformerModel
+
+#: Order in which ``DecoderLayer.backward`` queues its wgrad tasks.
+DECODER_WGRAD_ORDER: tuple[str, ...] = (
+    "wq", "wk", "wv", "wo", "wg", "wu", "wd", "g1", "g2",
+)
+
+#: Order in which ``LossHead.backward`` queues its wgrad tasks.
+LOSS_HEAD_WGRAD_ORDER: tuple[str, ...] = ("wh", "gf")
+
+#: Order in which ``Embedding.backward`` queues its wgrad tasks.
+EMBEDDING_WGRAD_ORDER: tuple[str, ...] = ("table",)
+
+
+def _param_shapes(comp: Component) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    return tuple(
+        (name, tuple(int(d) for d in array.shape))
+        for name, array in comp.params.items()
+    )
+
+
+def component_spec(comp: Component, name: str) -> ComponentSpec:
+    """Abstract one live component."""
+    if isinstance(comp, Embedding):
+        vocab, hidden = comp.params["table"].shape
+        return ComponentSpec(
+            name=name,
+            kind="embedding",
+            hidden=int(hidden),
+            vocab_size=int(vocab),
+            param_shapes=_param_shapes(comp),
+            wgrad_params=EMBEDDING_WGRAD_ORDER,
+        )
+    if isinstance(comp, DecoderLayer):
+        return ComponentSpec(
+            name=name,
+            kind="decoder",
+            hidden=comp.hidden,
+            num_heads=comp.num_heads,
+            num_kv_heads=comp.num_kv_heads,
+            ffn_hidden=int(comp.params["wg"].shape[1]),
+            recompute=comp.recompute,
+            param_shapes=_param_shapes(comp),
+            wgrad_params=DECODER_WGRAD_ORDER,
+        )
+    if isinstance(comp, LossHead):
+        hidden, vocab = comp.params["wh"].shape
+        return ComponentSpec(
+            name=name,
+            kind="loss_head",
+            hidden=int(hidden),
+            vocab_size=int(vocab),
+            param_shapes=_param_shapes(comp),
+            wgrad_params=LOSS_HEAD_WGRAD_ORDER,
+        )
+    raise TypeError(
+        f"cannot abstract component {name}: unknown type {type(comp).__name__}"
+    )
+
+
+def _component_name(comp: Component, index: int) -> str:
+    if isinstance(comp, Embedding):
+        return "embedding"
+    if isinstance(comp, LossHead):
+        return "loss_head"
+    return f"decoder[{index - 1}]"
+
+
+def _chunked(
+    components: list[ComponentSpec], num_chunks: int
+) -> PartitionSpec:
+    total = len(components)
+    if num_chunks > total:
+        raise ValueError(
+            f"cannot cut {total} components into {num_chunks} chunks"
+        )
+    base, extra = divmod(total, num_chunks)
+    chunks: list[ChunkSpec] = []
+    start = 0
+    for i in range(num_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(
+            ChunkSpec(index=i, components=tuple(components[start : start + size]))
+        )
+        start += size
+    return PartitionSpec(chunks=tuple(chunks))
+
+
+def partition_from_model(
+    model: TransformerModel, num_chunks: int
+) -> PartitionSpec:
+    """Abstract a live model's ``num_chunks``-way partition."""
+    specs = [
+        component_spec(comp, _component_name(comp, i))
+        for i, comp in enumerate(model.components)
+    ]
+    return _chunked(specs, num_chunks)
+
+
+def decoder_spec_from_model_spec(spec: ModelSpec, index: int) -> ComponentSpec:
+    """The abstract decoder layer a :class:`ModelSpec` describes."""
+    h, kv_w = spec.hidden_size, spec.kv_hidden_size
+    f = spec.ffn_hidden_size
+    return ComponentSpec(
+        name=f"decoder[{index}]",
+        kind="decoder",
+        hidden=h,
+        num_heads=spec.num_heads,
+        num_kv_heads=spec.kv_heads,
+        ffn_hidden=f,
+        param_shapes=(
+            ("wq", (h, h)), ("wk", (h, kv_w)), ("wv", (h, kv_w)),
+            ("wo", (h, h)), ("wg", (h, f)), ("wu", (h, f)), ("wd", (f, h)),
+            ("g1", (h,)), ("g2", (h,)),
+        ),
+        wgrad_params=DECODER_WGRAD_ORDER,
+    )
+
+
+def partition_from_spec(spec: ModelSpec, num_chunks: int) -> PartitionSpec:
+    """Abstract the partition :func:`repro.nn.build_model` would yield,
+    without building it."""
+    h, v = spec.hidden_size, spec.vocab_size
+    components = [
+        ComponentSpec(
+            name="embedding",
+            kind="embedding",
+            hidden=h,
+            vocab_size=v,
+            param_shapes=(("table", (v, h)),),
+            wgrad_params=EMBEDDING_WGRAD_ORDER,
+        )
+    ]
+    components.extend(
+        decoder_spec_from_model_spec(spec, i) for i in range(spec.num_layers)
+    )
+    components.append(
+        ComponentSpec(
+            name="loss_head",
+            kind="loss_head",
+            hidden=h,
+            vocab_size=v,
+            param_shapes=(("gf", (h,)), ("wh", (h, v))),
+            wgrad_params=LOSS_HEAD_WGRAD_ORDER,
+        )
+    )
+    return _chunked(components, num_chunks)

@@ -1,0 +1,165 @@
+"""Pass 3: happens-before hazard detection (HZ rules).
+
+Derives the partial order of one iteration from the compiled graph's
+CSR dependency edges plus per-stage program order (the
+:meth:`~repro.analysis.program.ModelProgram.happens_before_closure`),
+then proves three freedom-from-races properties the dependency edges
+alone do *not* imply:
+
+* **HZ001** — all ops accumulating into one parameter-gradient buffer
+  are totally ordered.  Contributions of different micro-batches/slices
+  share the accumulator but have no dependency edge between them; their
+  only ordering is same-stage program order, exactly what a deployment
+  overlapping W GEMMs with communication must preserve.
+* **HZ002** — every cross-chunk payload read (forward activations,
+  backward ``dy``) is ordered after its write.
+* **HZ003** — the W ops of one cell have a happens-before maximum.
+  They share the cell's pinned activations, released when the last one
+  completes; without a unique last op the release races a read
+  (write-after-read).
+
+Witnesses are minimal: each finding names the two unordered ops.
+Total-order checking is linear, not quadratic — writers are sorted
+along a linear extension of the partial order and only consecutive
+pairs are tested (happens-before is transitive, so a chain implies the
+total order).
+"""
+
+from __future__ import annotations
+
+import repro.analysis.rules  # noqa: F401  (registers the HZ rules)
+from repro.analysis.program import ModelProgram
+from repro.schedules.verify.diagnostics import Finding
+
+
+def _pair_witness(
+    program: ModelProgram, a: int, b: int, buffer: str
+) -> tuple[str, ...]:
+    graph = program.graph
+    return (
+        f"{graph.ops[a]} (stage {graph.stage[a]}, position {graph.pos[a]})",
+        f"{graph.ops[b]} (stage {graph.stage[b]}, position {graph.pos[b]})",
+        f"shared buffer: {buffer}",
+        "no happens-before path orders the two accesses",
+    )
+
+
+def check_hazards(program: ModelProgram) -> list[Finding]:
+    """Prove hazard freedom; returns the races found."""
+    graph = program.graph
+    problem = graph.problem
+    n, s, chunks = problem.num_microbatches, problem.num_slices, problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms if split else 1
+    position = program.topo_position()
+    findings: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    # HZ001: gradient-accumulator writes are totally ordered.
+    # ------------------------------------------------------------------
+    for c, tasks in enumerate(program.chunk_tasks):
+        # Queue position of each task decides which W op performs it.
+        for pos_in_queue, task in enumerate(tasks):
+            writers: list[int] = []
+            for mb in range(n):
+                for sl in range(s):
+                    cell = (mb * s + sl) * chunks + c
+                    if split:
+                        op = program.w_of.get(cell, {}).get(
+                            pos_in_queue % gemms
+                        )
+                    else:
+                        op = program.b_of.get(cell)
+                    if op is not None:
+                        writers.append(op)
+            writers.sort(key=lambda i: position[i])
+            hazard = next(
+                (
+                    (a, b)
+                    for a, b in zip(writers, writers[1:])
+                    if not program.happens_before(a, b)
+                ),
+                None,
+            )
+            if hazard is not None:
+                a, b = hazard
+                buffer = f"grads[{task.render()}] of chunk {c}"
+                findings.append(
+                    Finding(
+                        "HZ001",
+                        f"unordered accumulation into {buffer}: {graph.ops[a]}"
+                        f" and {graph.ops[b]} may overlap (write-after-write)",
+                        stage=graph.stage[b],
+                        op=graph.ops[b],
+                        witness=_pair_witness(program, a, b, buffer),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # HZ002: channel payload reads are ordered after their writes.
+    # ------------------------------------------------------------------
+    for mb in range(n):
+        for sl in range(s):
+            base = (mb * s + sl) * chunks
+            for c in range(chunks - 1):
+                # Forward payload: F(c) writes, F(c+1) reads.
+                w = program.f_of.get(base + c)
+                r = program.f_of.get(base + c + 1)
+                if w is not None and r is not None and not program.happens_before(w, r):
+                    buffer = f"forward channel ({mb}, {sl}, {c}->{c + 1})"
+                    findings.append(
+                        Finding(
+                            "HZ002",
+                            f"{graph.ops[r]} reads the {buffer} payload "
+                            f"without ordering after its writer {graph.ops[w]}",
+                            stage=graph.stage[r],
+                            op=graph.ops[r],
+                            witness=_pair_witness(program, w, r, buffer),
+                        )
+                    )
+                # Backward payload: B(c+1) writes dy, B(c) reads.
+                w = program.b_of.get(base + c + 1)
+                r = program.b_of.get(base + c)
+                if w is not None and r is not None and not program.happens_before(w, r):
+                    buffer = f"backward channel ({mb}, {sl}, {c + 1}->{c})"
+                    findings.append(
+                        Finding(
+                            "HZ002",
+                            f"{graph.ops[r]} reads the {buffer} payload "
+                            f"without ordering after its writer {graph.ops[w]}",
+                            stage=graph.stage[r],
+                            op=graph.ops[r],
+                            witness=_pair_witness(program, w, r, buffer),
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # HZ003: each cell's W ops have a happens-before maximum.
+    # ------------------------------------------------------------------
+    if split:
+        for cell, w_ops in sorted(program.w_of.items()):
+            ops = sorted(w_ops.values(), key=lambda i: position[i])
+            if len(ops) < 2:
+                continue
+            last = ops[-1]
+            for other in ops[:-1]:
+                if program.happens_before(other, last):
+                    continue
+                mb, rest = divmod(cell, s * chunks)
+                sl, c = divmod(rest, chunks)
+                buffer = (
+                    f"pinned activations of micro-batch {mb} slice {sl} "
+                    f"chunk {c}"
+                )
+                findings.append(
+                    Finding(
+                        "HZ003",
+                        f"W ops of the cell have no happens-before maximum: "
+                        f"{graph.ops[other]} and {graph.ops[last]} are "
+                        f"unordered, so the release of {buffer} races a read",
+                        stage=graph.stage[last],
+                        op=graph.ops[last],
+                        witness=_pair_witness(program, other, last, buffer),
+                    )
+                )
+    return findings

@@ -1,0 +1,121 @@
+"""Rule catalogue of the model-level static analyzer.
+
+Three families, one per pass (see ``docs/analysis.md``):
+
+* ``SH``: symbolic shape/dtype inference through the partitioned model
+  and the cross-chunk channel interfaces;
+* ``GC``: the gradient-coverage proof over the compiled schedule graph
+  joined with the partition's weight-gradient task table;
+* ``HZ``: happens-before hazard detection between overlapped weight-
+  gradient GEMMs, activation releases, and channel payloads.
+
+The rules register into the shared
+:mod:`repro.schedules.verify.diagnostics` catalogue so analyzer
+findings render, filter, and serialize exactly like schedule-verifier
+findings; ids are stable API.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.verify.diagnostics import Rule, Severity, register_rules
+
+#: Shape/dtype inference rules (pass 1).
+SHAPE_RULES: tuple[str, ...] = ("SH001", "SH002", "SH003", "SH004")
+
+#: Gradient-coverage rules (pass 2).
+COVERAGE_RULES: tuple[str, ...] = ("GC001", "GC002", "GC003", "GC004")
+
+#: Happens-before hazard rules (pass 3).
+HAZARD_RULES: tuple[str, ...] = ("HZ001", "HZ002", "HZ003")
+
+#: Everything the model analyzer checks.
+MODEL_RULES: tuple[str, ...] = SHAPE_RULES + COVERAGE_RULES + HAZARD_RULES
+
+register_rules(
+    Rule(
+        "SH001",
+        "shape mismatch",
+        Severity.ERROR,
+        "Symbolic shape inference failed: a component receives a tensor "
+        "whose inferred dimensions do not match its expected input "
+        "interface, or the pipeline's final output is not a loss scalar.",
+    ),
+    Rule(
+        "SH002",
+        "dtype mismatch",
+        Severity.ERROR,
+        "A component receives a tensor of the wrong dtype tag (e.g. "
+        "float hidden states where integer token ids are expected).",
+    ),
+    Rule(
+        "SH003",
+        "channel interface mismatch",
+        Severity.ERROR,
+        "The payload a chunk emits does not match the interface the "
+        "consuming chunk expects; for cross-stage boundaries this is the "
+        "tensor a real deployment would send over the wire, so the "
+        "receiving stage would deserialize garbage.",
+    ),
+    Rule(
+        "SH004",
+        "inconsistent component configuration",
+        Severity.ERROR,
+        "A component's internal architecture is contradictory: GQA head "
+        "counts that do not divide, or parameter shapes inconsistent "
+        "with the declared widths.",
+    ),
+    Rule(
+        "GC001",
+        "missing weight-gradient contribution",
+        Severity.ERROR,
+        "A parameter receives no deferred W-task contribution for some "
+        "(micro-batch, slice): its gradient would silently stay zero.",
+    ),
+    Rule(
+        "GC002",
+        "duplicate weight-gradient contribution",
+        Severity.ERROR,
+        "A parameter receives more than one W-task contribution for one "
+        "(micro-batch, slice): its gradient would be double-counted.",
+    ),
+    Rule(
+        "GC003",
+        "undrained weight-gradient queue",
+        Severity.ERROR,
+        "A deferred weight-gradient task is never assigned to any "
+        "scheduled W op; the queue would still hold work at iteration "
+        "end.",
+    ),
+    Rule(
+        "GC004",
+        "weight gradient before backward",
+        Severity.ERROR,
+        "A W op is not ordered after the B op that produces the "
+        "activation gradients it reads.",
+    ),
+    Rule(
+        "HZ001",
+        "unordered gradient accumulation",
+        Severity.ERROR,
+        "Two ops accumulate into the same parameter-gradient buffer "
+        "with no happens-before order between them — a write-after-"
+        "write race once W GEMMs overlap with communication.",
+    ),
+    Rule(
+        "HZ002",
+        "channel payload race",
+        Severity.ERROR,
+        "A cross-chunk payload is read without a happens-before path "
+        "from the op that writes it — a read-before-write race on the "
+        "channel buffer.",
+    ),
+    Rule(
+        "HZ003",
+        "ambiguous activation release",
+        Severity.ERROR,
+        "The W ops of one (micro-batch, slice, chunk) have no happens-"
+        "before maximum: the pinned activations they share have no "
+        "well-defined release point, so a free could race a read "
+        "(write-after-read).",
+    ),
+)

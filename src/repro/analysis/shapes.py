@@ -1,0 +1,292 @@
+"""Pass 1: symbolic shape/dtype inference and interface checking.
+
+Abstract-interprets the partitioned model on the
+:class:`~repro.analysis.ir.SymTensor` domain: token ids enter the first
+chunk, hidden states flow chunk to chunk, the loss scalar leaves the
+last one.  No array is allocated; the pass proves
+
+* every component's internal architecture is self-consistent (GQA head
+  expansion/collapse divisibility, parameter shapes matching the
+  declared widths) — SH004;
+* every component receives the shape (SH001) and dtype (SH002) its
+  forward expects, and the pipeline as a whole maps token ids to a
+  loss scalar (SH001);
+* every chunk boundary agrees: what chunk ``c`` emits is exactly what
+  chunk ``c+1`` consumes (SH003).  For boundaries that cross a stage,
+  this is the payload :class:`~repro.pipeline.runtime.PipelineRuntime`
+  moves through its channels — the backward channel's ``dy`` payload
+  mirrors the forward interface, so one check covers both directions.
+
+Findings anchor to the earliest op that would execute the defect
+(micro-batch 0, slice 0), giving each report a concrete witness in the
+schedule's own vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ir import (
+    LOSS,
+    TOKENS,
+    ChunkSpec,
+    ComponentSpec,
+    PartitionSpec,
+    SymTensor,
+    hidden_states,
+)
+# Register the SH/GC/HZ rules into the shared catalogue before any
+# Finding is constructed (its severity defaults from the catalogue).
+import repro.analysis.rules  # noqa: F401
+from repro.schedules.base import OpId, OpKind, PipelineProblem
+from repro.schedules.verify.diagnostics import Finding
+
+
+@dataclass(frozen=True)
+class ChunkIO:
+    """The inferred input/output interface of one chunk."""
+
+    index: int
+    input: SymTensor
+    output: SymTensor
+
+
+def expected_input(comp: ComponentSpec) -> SymTensor:
+    """The tensor type a component's forward consumes."""
+    if comp.kind == "embedding":
+        return TOKENS
+    return hidden_states(comp.hidden)
+
+
+def component_output(comp: ComponentSpec) -> SymTensor:
+    """The tensor type a component's forward produces."""
+    if comp.kind == "loss_head":
+        return LOSS
+    return hidden_states(comp.hidden)
+
+
+def _expected_param_shapes(
+    comp: ComponentSpec,
+) -> dict[str, tuple[int, ...]]:
+    h = comp.hidden
+    if comp.kind == "embedding":
+        return {"table": (comp.vocab_size, h)}
+    if comp.kind == "loss_head":
+        return {"gf": (h,), "wh": (h, comp.vocab_size)}
+    kv_w = comp.num_kv_heads * comp.head_dim
+    f = comp.ffn_hidden
+    return {
+        "wq": (h, h), "wk": (h, kv_w), "wv": (h, kv_w), "wo": (h, h),
+        "wg": (h, f), "wu": (h, f), "wd": (f, h), "g1": (h,), "g2": (h,),
+    }
+
+
+def check_component_config(
+    comp: ComponentSpec, anchor: OpId | None = None, stage: int | None = None
+) -> list[Finding]:
+    """SH004: prove a component's architecture is self-consistent."""
+    findings: list[Finding] = []
+
+    def bad(message: str, *witness: str) -> None:
+        findings.append(
+            Finding(
+                "SH004",
+                f"{comp.name}: {message}",
+                stage=stage,
+                op=anchor,
+                witness=witness,
+            )
+        )
+
+    if comp.kind == "decoder":
+        if comp.num_heads <= 0 or comp.num_kv_heads <= 0:
+            bad(
+                "head counts must be positive",
+                f"num_heads={comp.num_heads}, num_kv_heads={comp.num_kv_heads}",
+            )
+            return findings
+        if comp.hidden % comp.num_heads != 0:
+            bad(
+                "hidden not divisible by num_heads",
+                f"hidden={comp.hidden}, num_heads={comp.num_heads}",
+            )
+            return findings
+        if comp.num_heads % comp.num_kv_heads != 0:
+            bad(
+                "GQA group is fractional: num_heads not a multiple of "
+                "num_kv_heads, so head expansion/collapse cannot round-trip",
+                f"num_heads={comp.num_heads}, num_kv_heads={comp.num_kv_heads}",
+            )
+            return findings
+    expected = _expected_param_shapes(comp)
+    for name, want in expected.items():
+        got = comp.param_shape(name)
+        if got is None:
+            bad(
+                f"parameter {name!r} is missing",
+                f"expected shape {want}",
+            )
+        elif got != want:
+            bad(
+                f"parameter {name!r} has shape {got}, expected {want}",
+                f"declared widths: hidden={comp.hidden}, "
+                f"kv_width={comp.num_kv_heads * comp.head_dim}, "
+                f"ffn={comp.ffn_hidden}, vocab={comp.vocab_size}",
+            )
+    return findings
+
+
+def component_transfer(
+    comp: ComponentSpec,
+    x: SymTensor,
+    anchor: OpId | None = None,
+    stage: int | None = None,
+) -> tuple[list[Finding], SymTensor]:
+    """Abstractly run one component's forward on ``x``.
+
+    Returns the findings plus the output type; after a mismatch the
+    component's nominal output is returned so inference can continue
+    without cascading one defect into many findings.
+    """
+    findings = check_component_config(comp, anchor=anchor, stage=stage)
+    want = expected_input(comp)
+    if x.dims != want.dims:
+        findings.append(
+            Finding(
+                "SH001",
+                f"{comp.name} expects {want.render()}, receives {x.render()}",
+                stage=stage,
+                op=anchor,
+                witness=(
+                    f"expected input: {want.render()}",
+                    f"inferred input: {x.render()}",
+                ),
+            )
+        )
+    elif x.dtype != want.dtype:
+        findings.append(
+            Finding(
+                "SH002",
+                f"{comp.name} expects dtype {want.dtype}, receives {x.dtype}"
+                f" ({x.render()})",
+                stage=stage,
+                op=anchor,
+                witness=(
+                    f"expected input: {want.render()}",
+                    f"inferred input: {x.render()}",
+                ),
+            )
+        )
+    return findings, component_output(comp)
+
+
+def _infer_chunk(
+    chunk: ChunkSpec, x: SymTensor, stage: int | None
+) -> tuple[list[Finding], SymTensor]:
+    findings: list[Finding] = []
+    anchor = OpId(OpKind.F, 0, 0, chunk.index)
+    for comp in chunk.components:
+        comp_findings, x = component_transfer(
+            comp, x, anchor=anchor, stage=stage
+        )
+        findings.extend(comp_findings)
+    return findings, x
+
+
+def check_shapes(
+    partition: PartitionSpec, problem: PipelineProblem | None = None
+) -> tuple[list[Finding], list[ChunkIO]]:
+    """Run shape/dtype inference over the whole partition.
+
+    ``problem`` supplies chunk-to-stage placement for channel findings;
+    without it the pass still runs, stage-anonymous.
+    """
+    findings: list[Finding] = []
+    io: list[ChunkIO] = []
+
+    if problem is not None and partition.num_chunks != problem.num_chunks:
+        findings.append(
+            Finding(
+                "SH004",
+                f"partition has {partition.num_chunks} chunk(s), problem "
+                f"expects {problem.num_chunks}",
+            )
+        )
+        return findings, io
+    for chunk in partition.chunks:
+        if not chunk.components:
+            findings.append(
+                Finding(
+                    "SH004",
+                    f"chunk {chunk.index} is empty",
+                    op=OpId(OpKind.F, 0, 0, chunk.index),
+                )
+            )
+            return findings, io
+
+    def stage_of(c: int) -> int | None:
+        return problem.stage_of_chunk(c) if problem is not None else None
+
+    # Each chunk's expected input is defined by its own first component;
+    # propagate within the chunk from there, then compare boundaries.
+    for chunk in partition.chunks:
+        chunk_in = expected_input(chunk.components[0])
+        chunk_findings, chunk_out = _infer_chunk(
+            chunk, chunk_in, stage_of(chunk.index)
+        )
+        findings.extend(chunk_findings)
+        io.append(ChunkIO(index=chunk.index, input=chunk_in, output=chunk_out))
+
+    # The pipeline consumes token ids and must produce the loss scalar.
+    first = partition.chunks[0].components[0]
+    if expected_input(first) != TOKENS:
+        findings.append(
+            Finding(
+                "SH001",
+                f"pipeline input is token ids {TOKENS.render()}, but "
+                f"{first.name} expects {expected_input(first).render()}",
+                stage=stage_of(0),
+                op=OpId(OpKind.F, 0, 0, 0),
+            )
+        )
+    if io and io[-1].output != LOSS:
+        last_chunk = partition.chunks[-1]
+        findings.append(
+            Finding(
+                "SH001",
+                f"pipeline output is {io[-1].output.render()}, not the loss "
+                f"scalar — the last component is "
+                f"{last_chunk.components[-1].name}",
+                stage=stage_of(last_chunk.index),
+                op=OpId(OpKind.F, 0, 0, last_chunk.index),
+            )
+        )
+
+    # Chunk-boundary interfaces: what c emits is what c+1 consumes.
+    for c in range(len(io) - 1):
+        emitted, expected = io[c].output, io[c + 1].input
+        if emitted == expected:
+            continue
+        src, dst = stage_of(c), stage_of(c + 1)
+        crossing = src is not None and dst is not None and src != dst
+        channel = (
+            f"stage {src} -> stage {dst} channel payload"
+            if crossing
+            else "same-stage chunk boundary"
+        )
+        findings.append(
+            Finding(
+                "SH003",
+                f"chunk {c} emits {emitted.render()}, chunk {c + 1} expects "
+                f"{expected.render()} ({channel})",
+                stage=dst,
+                op=OpId(OpKind.F, 0, 0, c + 1),
+                witness=(
+                    f"F0.0c{c} emits    {emitted.render()}",
+                    f"F0.0c{c + 1} expects  {expected.render()}",
+                    "backward channel mirrors the forward interface: "
+                    f"B0.0c{c + 1} -> B0.0c{c} dy payload disagrees identically",
+                ),
+            )
+        )
+    return findings, io

@@ -9,6 +9,9 @@ Commands:
 * ``verify <method>`` — statically verify a generated schedule
   (placement, coverage, deadlock witnesses, channel order, activation
   liveness, Table 3 closed-form agreement); exits non-zero on errors.
+* ``check-model <method|grid>`` — statically analyze the (model
+  partition, schedule) pair (shape/interface inference, gradient
+  coverage, happens-before hazards); exits non-zero on errors.
 * ``plan <model> <gbs>`` — grid-search every method and print the
   winners.
 """
@@ -16,7 +19,58 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.schedules.verify import Report
+
+
+# ----------------------------------------------------------------------
+# Shared report plumbing: ``verify`` and ``check-model`` take the same
+# ``--rules`` selector and ``--format text|json`` switch (``--json`` is
+# the historical shorthand) and render their Reports identically.
+# ----------------------------------------------------------------------
+def _add_report_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report output format")
+    parser.add_argument("--json", action="store_true",
+                        help="shorthand for --format json")
+
+
+def _selected_rules(
+    args: argparse.Namespace, known: Sequence[str]
+) -> tuple[list[str] | None, str | None]:
+    """Parse ``--rules`` against a rule catalogue.
+
+    Returns ``(rules, error)``; ``rules`` is ``None`` when the flag was
+    not given (meaning: all of ``known``).
+    """
+    if not args.rules:
+        return None, None
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in known]
+    if unknown:
+        return None, f"unknown rule(s) {unknown}; known: {', '.join(known)}"
+    return rules, None
+
+
+def _emit_reports(reports: list[Report], args: argparse.Namespace) -> int:
+    """Render one or more reports per ``--format``; exit status 1 when
+    any carries an error-severity finding."""
+    as_json = args.json or args.format == "json"
+    if as_json:
+        if len(reports) == 1:
+            print(reports[0].render_json())
+        else:
+            print(_json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        print("\n".join(r.render_text() for r in reports))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -62,46 +116,95 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.schedules import build_problem, build_schedule
-    from repro.schedules.verify import ALL_RULES, verify_schedule
+def _build_for_cli(args: argparse.Namespace, method: str, **overrides):
+    """Build (problem, schedule) from CLI shape flags.
 
-    rules = None
-    if args.rules:
-        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in ALL_RULES]
-        if unknown:
-            print(f"unknown rule(s) {unknown}; known: {', '.join(ALL_RULES)}")
-            return 2
-    from repro.schedules import ScheduleError
+    Returns ``(schedule, None)`` on success or ``(None, exit_code)``
+    after printing the diagnosis — shared by ``verify`` and
+    ``check-model``.
+    """
+    from repro.schedules import ScheduleError, build_problem, build_schedule
 
+    kwargs = {
+        "num_slices": args.slices,
+        "virtual_size": args.virtual,
+        "wgrad_gemms": args.wgrad_gemms,
+    }
+    kwargs.update(overrides)
     try:
         problem = build_problem(
-            args.method,
-            args.stages,
-            args.microbatches,
-            num_slices=args.slices,
-            virtual_size=args.virtual,
-            wgrad_gemms=args.wgrad_gemms,
+            method, args.stages, args.microbatches, **kwargs
         )
         schedule = build_schedule(
-            args.method, problem, forwards_before_first_backward=args.forwards
+            method, problem, forwards_before_first_backward=args.forwards
         )
     except KeyError as exc:  # unknown method name
         print(exc.args[0] if exc.args else exc)
-        return 2
+        return None, 2
     except ValueError as exc:  # out-of-range shape (p/n/s/v/g)
         print(exc)
-        return 2
+        return None, 2
     except ScheduleError as exc:
         # Invalid shape for the method, or the generator itself produced
         # a schedule the safety tier rejects — either way the message is
         # the diagnosis.
         print(exc)
-        return 1
+        return None, 1
+    return schedule, None
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.schedules.verify import ALL_RULES, verify_schedule
+
+    rules, error = _selected_rules(args, ALL_RULES)
+    if error:
+        print(error)
+        return 2
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
     report = verify_schedule(schedule, method=args.method, rules=rules)
-    print(report.render_json() if args.json else report.render_text())
-    return 0 if report.ok else 1
+    return _emit_reports([report], args)
+
+
+def _cmd_check_model(args: argparse.Namespace) -> int:
+    from repro.analysis import MODEL_RULES, analyze_spec
+    from repro.model import get_model
+    from repro.model.spec import tiny_spec
+
+    rules, error = _selected_rules(args, MODEL_RULES)
+    if error:
+        print(error)
+        return 2
+    if args.model == "tiny":
+        # Enough decoder layers that embedding + head balance against
+        # them under any p×v chunking the flags (or the grid's v=2
+        # entries) request — the Section 7.1 layout.
+        v = max(args.virtual, 2)
+        spec = tiny_spec(num_layers=args.stages * v - 2)
+    else:
+        spec = get_model(args.model)
+
+    if args.method == "grid":
+        # The E0 acceptance grid: every scheduling method in its
+        # reference configuration.
+        from repro.experiments.e0 import METHOD_SETUPS
+
+        setups = [
+            (method, dict(kwargs)) for method, kwargs in METHOD_SETUPS
+        ]
+    else:
+        setups = [(args.method, {})]
+
+    reports = []
+    for method, overrides in setups:
+        schedule, status = _build_for_cli(args, method, **overrides)
+        if schedule is None:
+            assert status is not None
+            return status
+        reports.append(analyze_spec(spec, schedule, rules=rules))
+    return _emit_reports(reports, args)
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -176,11 +279,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--forwards", "--f", type=int, default=None,
                        help="f variant (SVPP/MEPipe)")
     p_ver.add_argument("--wgrad-gemms", type=int, default=1)
-    p_ver.add_argument("--rules", default=None,
-                       help="comma-separated rule ids (default: all)")
-    p_ver.add_argument("--json", action="store_true",
-                       help="emit the report as JSON")
+    _add_report_flags(p_ver)
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_chk = sub.add_parser(
+        "check-model",
+        help="statically analyze the (model partition, schedule) pair",
+    )
+    p_chk.add_argument(
+        "method", help="scheduling method, or 'grid' for the E0 acceptance grid"
+    )
+    p_chk.add_argument("--model", default="tiny",
+                       help="model spec: tiny / 7b / 13b / 34b")
+    p_chk.add_argument("--stages", "--p", type=int, default=4,
+                       help="pipeline stages p")
+    p_chk.add_argument("--microbatches", "--n", type=int, default=4,
+                       help="micro-batches n")
+    p_chk.add_argument("--slices", "--s", type=int, default=1,
+                       help="slices per sample s (SPP)")
+    p_chk.add_argument("--virtual", "--v", type=int, default=1,
+                       help="chunks per stage v (VPP)")
+    p_chk.add_argument("--forwards", "--f", type=int, default=None,
+                       help="f variant (SVPP/MEPipe)")
+    p_chk.add_argument("--wgrad-gemms", type=int, default=1)
+    _add_report_flags(p_chk)
+    p_chk.set_defaults(func=_cmd_check_model)
 
     p_plan = sub.add_parser("plan", help="grid-search parallel strategies")
     p_plan.add_argument("model", help="7b / 13b / 34b")

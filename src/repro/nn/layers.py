@@ -55,10 +55,18 @@ class Component:
         """Take ownership of the pending weight-gradient GEMMs."""
         return self._wgrad_tasks.pop((mb, sl), [])
 
-    def forward(self, mb: int, sl: int, x: Array) -> Array:
+    def forward(self, mb: int, sl: int, x: Array) -> Array | float:
         raise NotImplementedError
 
-    def backward(self, mb: int, sl: int, dy: Array) -> Array:
+    def backward(self, mb: int, sl: int, dy: Array | None) -> Array | None:
+        """Activation gradients of one slice.
+
+        The contract is uniform across components: ``dy`` is the
+        upstream gradient (``None`` only for the pipeline's last
+        component, whose forward produced the loss), and the return
+        value is the input gradient (``None`` only for the pipeline's
+        first component, whose input has no gradient).
+        """
         raise NotImplementedError
 
     def add_grad(self, key: str, value: Array) -> None:
@@ -87,13 +95,15 @@ class Embedding(Component):
         self.live_contexts += 1
         return self.params["table"][tokens]
 
-    def backward(self, mb: int, sl: int, dy: Array) -> Array | None:
+    def backward(self, mb: int, sl: int, dy: Array | None) -> Array | None:
         tokens = self._ctx.pop((mb, sl))
         self.live_contexts -= 1
+        assert dy is not None
+        dy_arr = dy
 
         def wgrad() -> None:
             np.add.at(self.grads["table"], tokens.reshape(-1),
-                      dy.reshape(-1, dy.shape[-1]))
+                      dy_arr.reshape(-1, dy_arr.shape[-1]))
 
         self._queue(mb, sl, wgrad)
         return None
@@ -233,7 +243,8 @@ class DecoderLayer(Component):
         }
         return out, ctx
 
-    def backward(self, mb: int, sl: int, dy: Array) -> Array:
+    def backward(self, mb: int, sl: int, dy: Array | None) -> Array:
+        assert dy is not None
         ctx = self._ctx.pop((mb, sl))
         self.live_contexts -= 1
         if self.recompute:
@@ -352,7 +363,7 @@ class LossHead(Component):
         self.live_contexts += 1
         return loss
 
-    def backward(self, mb: int, sl: int, dy: object = None) -> Array:
+    def backward(self, mb: int, sl: int, dy: Array | None = None) -> Array:
         ctx = self._ctx.pop((mb, sl))
         self.live_contexts -= 1
         dlogits = ctx["dlogits"]

@@ -130,12 +130,13 @@ def sequential_step(
         for sl in range(num_slices):
             lo, hi = sl * t, (sl + 1) * t
             model.head.set_targets(mb, sl, targets[mb, :, lo:hi])
-            x: object = tokens[mb, :, lo:hi]
+            x: Array | float = tokens[mb, :, lo:hi]
             for comp in model.components:
+                assert isinstance(x, np.ndarray)
                 x = comp.forward(mb, sl, x)
             total_loss += float(x)  # LossHead returns the slice loss
         for sl in reversed(range(num_slices)):
-            dy: object = None
+            dy: Array | None = None
             for comp in reversed(model.components):
                 dy = comp.backward(mb, sl, dy)
                 for task in comp.pop_wgrad_tasks(mb, sl):

@@ -28,6 +28,7 @@ class StageStats:
     stage: int
     ops_executed: int = 0
     peak_live_contexts: int = 0
+    peak_live_bytes: int = 0
     wgrad_tasks_run: int = 0
 
 
@@ -61,6 +62,11 @@ class RunResult:
     def peak_live_contexts(self) -> int:
         """Largest number of live slice-contexts on any stage."""
         return max(s.peak_live_contexts for s in self.stage_stats)
+
+    @property
+    def peak_live_bytes(self) -> int:
+        """Largest live activation footprint on any stage, in bytes."""
+        return max(s.peak_live_bytes for s in self.stage_stats)
 
 
 @dataclass
@@ -97,9 +103,11 @@ class PipelineRuntime:
         Gradients accumulate into the model; call ``model.init_grads()``
         between iterations (or use :class:`repro.nn.Adam`, which does).
         """
+        from repro.analysis import ensure_model_verified
         from repro.schedules.verify import ensure_verified
 
         ensure_verified(schedule, context="pipeline runtime")
+        ensure_model_verified(self.model, schedule, context="pipeline runtime")
         problem = schedule.problem
         if problem.num_microbatches != self.num_microbatches:
             raise ScheduleError(
@@ -220,4 +228,6 @@ class PipelineRuntime:
         stat.ops_executed += 1
         live = sum(comp.live_contexts for comp in stage_components)
         stat.peak_live_contexts = max(stat.peak_live_contexts, live)
+        live_bytes = sum(comp.live_bytes() for comp in stage_components)
+        stat.peak_live_bytes = max(stat.peak_live_bytes, live_bytes)
         return loss_out

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis import interface_report
 from repro.hardware.cluster import ClusterSpec
 from repro.model.flops import model_train_flops
 from repro.model.memory import GiB, budget_for
@@ -88,6 +89,15 @@ def evaluate_config(
         virtual_size=vp,
         wgrad_gemms=wgrad_gemms,
     )
+    # Static interface gate: the partition this (pp, vp) chunking implies
+    # must shape/dtype-check before any schedule is built or simulated;
+    # a failing config is rejected with the rendered findings and the
+    # grid search records why.
+    interfaces = interface_report(spec, problem, name=f"{method} {config.describe()}")
+    if not interfaces.ok:
+        raise ValueError(
+            f"partition fails interface checking:\n{interfaces.render_text()}"
+        )
     cost = ClusterCost(spec=spec, config=config, cluster=cluster, problem=problem)
 
     budget = budget_for(

@@ -148,6 +148,25 @@ RULES: dict[str, Rule] = {
 }
 
 
+def register_rules(*rules: Rule) -> None:
+    """Add rules to the shared catalogue.
+
+    Other analysis layers (:mod:`repro.analysis`) report through the
+    same :class:`Finding`/:class:`Report` vocabulary; their rule ids
+    must be registered here before a finding can default its severity.
+    Re-registering an identical rule is a no-op; redefining an existing
+    id differently is a programming error.
+    """
+    for rule in rules:
+        existing = RULES.get(rule.rule_id)
+        if existing is not None and existing != rule:
+            raise ValueError(
+                f"rule {rule.rule_id} already registered with a different "
+                f"definition"
+            )
+        RULES[rule.rule_id] = rule
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation (or observation) with its evidence.

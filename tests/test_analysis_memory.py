@@ -1,0 +1,99 @@
+"""Inferred peak live memory must equal what the runtime measures.
+
+The analyzer's per-stage memory walk (:func:`infer_stage_memory`)
+mirrors the components' ``live_bytes`` accounting symbolically; these
+tests run every E0 grid method on the real NumPy runtime and assert the
+static prediction matches the measured ``peak_live_bytes`` and
+``peak_live_contexts`` *exactly* — not approximately — for every stage.
+"""
+
+import pytest
+
+from repro.analysis import infer_stage_memory, partition_from_model
+from repro.data import token_batches
+from repro.model.spec import tiny_spec
+from repro.nn import build_model
+from repro.pipeline import PipelineRuntime
+from repro.schedules.graph import compiled_graph
+from repro.schedules.methods import build_problem, build_schedule
+
+SETUPS = [
+    ("dapple", {}),
+    ("terapipe", {"num_slices": 4}),
+    ("vpp", {"virtual_size": 2}),
+    ("zb", {}),
+    ("zbv", {}),
+    ("svpp", {"num_slices": 4, "virtual_size": 2}),
+    ("mepipe", {"num_slices": 4, "wgrad_gemms": 3}),
+]
+
+SPEC = tiny_spec(
+    hidden_size=32, num_layers=6, num_heads=4, ffn_hidden_size=64,
+    vocab_size=31, seq_length=16,
+)
+
+
+def run_and_infer(method, kwargs, spec=SPEC, recompute=False, batch=2):
+    problem = build_problem(method, 4, 4, **kwargs)
+    schedule = build_schedule(method, problem)
+    model = build_model(spec, seed=11, recompute=recompute)
+    tokens, targets = token_batches(
+        spec.vocab_size, problem.num_microbatches, batch, spec.seq_length,
+        seed=5,
+    )
+    result = PipelineRuntime(model, tokens, targets).run(schedule)
+    partition = partition_from_model(model, problem.num_chunks)
+    inferred = infer_stage_memory(
+        partition,
+        compiled_graph(schedule),
+        batch=batch,
+        slice_len=spec.seq_length // problem.num_slices,
+    )
+    return result, inferred
+
+
+class TestInferredMemoryMatchesRuntime:
+    @pytest.mark.parametrize("method,kwargs", SETUPS)
+    def test_exact_agreement_on_e0_grid(self, method, kwargs):
+        result, inferred = run_and_infer(method, kwargs)
+        assert len(inferred) == len(result.stage_stats)
+        for mem, stat in zip(inferred, result.stage_stats):
+            assert mem.stage == stat.stage
+            assert mem.peak_live_bytes == stat.peak_live_bytes, (
+                f"stage {stat.stage}: inferred {mem.peak_live_bytes}, "
+                f"measured {stat.peak_live_bytes}"
+            )
+            assert mem.peak_live_contexts == stat.peak_live_contexts
+
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_agreement_scales_with_batch(self, batch):
+        result, inferred = run_and_infer(
+            "mepipe", {"num_slices": 4, "wgrad_gemms": 3}, batch=batch
+        )
+        assert [m.peak_live_bytes for m in inferred] == [
+            s.peak_live_bytes for s in result.stage_stats
+        ]
+
+    def test_agreement_with_gqa(self):
+        import dataclasses
+
+        spec = dataclasses.replace(SPEC, num_kv_heads=2)
+        result, inferred = run_and_infer(
+            "terapipe", {"num_slices": 4}, spec=spec
+        )
+        assert [m.peak_live_bytes for m in inferred] == [
+            s.peak_live_bytes for s in result.stage_stats
+        ]
+
+    def test_agreement_under_recomputation(self):
+        result, inferred = run_and_infer("dapple", {}, recompute=True)
+        assert [m.peak_live_bytes for m in inferred] == [
+            s.peak_live_bytes for s in result.stage_stats
+        ]
+
+    def test_peaks_are_positive_and_exposed_on_result(self):
+        result, inferred = run_and_infer("dapple", {})
+        assert result.peak_live_bytes == max(
+            s.peak_live_bytes for s in result.stage_stats
+        )
+        assert all(m.peak_live_bytes > 0 for m in inferred)

@@ -1,0 +1,314 @@
+"""Seeded defect injection against the model analyzer.
+
+Each test corrupts one ingredient of the joined (partition, schedule)
+program — a component's widths, a wgrad task queue, a scheduled W op, a
+happens-before edge — the way a component-level bug would (a backward
+that forgets to queue a GEMM, a mis-built layer, a runtime that drops
+an ordering), and asserts the analyzer names the defect with the exact
+rule id and a witness that cites the participating ops.  The clean path
+always re-derives these structures from the model and the
+fingerprint-cached graph, so mutants never leak into real runs.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.analysis import (
+    analyze_partition,
+    build_program,
+    check_coverage,
+    check_hazards,
+    partition_from_spec,
+)
+from repro.analysis.ir import BATCH, SLICE_LEN, SymTensor
+from repro.analysis.shapes import component_transfer
+from repro.model.spec import tiny_spec
+from repro.schedules.graph import compiled_graph
+from repro.schedules.methods import build_problem, build_schedule
+
+SPEC = tiny_spec(
+    hidden_size=32, num_layers=6, num_heads=4, ffn_hidden_size=64,
+    vocab_size=31, seq_length=16,
+)
+WIDE = tiny_spec(
+    hidden_size=64, num_layers=6, num_heads=4, ffn_hidden_size=64,
+    vocab_size=31, seq_length=16,
+)
+
+SEEDS = [0, 1, 2]
+
+
+def built(method: str, **kwargs):
+    problem = build_problem(method, 4, 4, **kwargs)
+    return build_schedule(method, problem)
+
+
+def mepipe_program():
+    schedule = built("mepipe", num_slices=4, wgrad_gemms=3)
+    partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+    return build_program(partition, compiled_graph(schedule)), schedule
+
+
+# ----------------------------------------------------------------------
+# Shape pass (SH rules)
+# ----------------------------------------------------------------------
+class TestShapeMutations:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mismatched_hidden_dims_is_sh003_with_channel_witness(self, seed):
+        schedule = built("mepipe", num_slices=4, wgrad_gemms=3)
+        chunks = schedule.problem.num_chunks
+        partition = partition_from_spec(SPEC, chunks)
+        wide = partition_from_spec(WIDE, chunks)
+        # Swap one interior, decoder-only chunk for its wide twin: both
+        # of its boundary interfaces now disagree on hidden width.
+        c = random.Random(seed).choice([1, 2])
+        mutant = dataclasses.replace(
+            partition,
+            chunks=tuple(
+                wide.chunks[i] if i == c else chunk
+                for i, chunk in enumerate(partition.chunks)
+            ),
+        )
+        report = analyze_partition(mutant, schedule)
+        assert not report.ok
+        assert report.rule_ids() == {"SH003"}
+        findings = report.by_rule("SH003")
+        assert len(findings) == 2  # entry and exit boundary of chunk c
+        rendered = "\n".join(f.render() for f in findings)
+        assert f"F0.0c{c}" in rendered
+        assert "batch×slice_len×64" in rendered and "batch×slice_len×32" in rendered
+        # One check covers both channel directions.
+        assert "dy payload disagrees identically" in rendered
+
+    def test_dropped_embedding_is_sh001_pipeline_input(self):
+        schedule = built("mepipe", num_slices=4, wgrad_gemms=3)
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        headless = dataclasses.replace(
+            partition.chunks[0],
+            components=partition.chunks[0].components[1:],
+        )
+        mutant = dataclasses.replace(
+            partition, chunks=(headless,) + partition.chunks[1:]
+        )
+        report = analyze_partition(mutant, schedule)
+        assert report.rule_ids() == {"SH001"}
+        assert "token ids" in report.findings[0].message
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_wrong_param_shape_is_sh004(self, seed):
+        schedule = built("mepipe", num_slices=4, wgrad_gemms=3)
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        rng = random.Random(seed)
+        c = rng.choice([1, 2])
+        chunk = partition.chunks[c]
+        comp = chunk.components[0]
+        pname, pshape = comp.param_shapes[rng.randrange(len(comp.param_shapes))]
+        bad = dataclasses.replace(
+            comp,
+            param_shapes=tuple(
+                (n, tuple(d + 1 for d in s)) if n == pname else (n, s)
+                for n, s in comp.param_shapes
+            ),
+        )
+        mutant = dataclasses.replace(
+            partition,
+            chunks=tuple(
+                dataclasses.replace(ch, components=(bad,) + ch.components[1:])
+                if i == c else ch
+                for i, ch in enumerate(partition.chunks)
+            ),
+        )
+        report = analyze_partition(mutant, schedule)
+        assert "SH004" in report.rule_ids()
+        rendered = "\n".join(f.render() for f in report.by_rule("SH004"))
+        assert pname in rendered and str(pshape) in rendered
+
+    def test_fractional_gqa_group_is_sh004(self):
+        schedule = built("dapple")
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        chunk = partition.chunks[1]
+        bad = dataclasses.replace(chunk.components[0], num_kv_heads=3)
+        mutant = dataclasses.replace(
+            partition,
+            chunks=tuple(
+                dataclasses.replace(ch, components=(bad,) + ch.components[1:])
+                if i == 1 else ch
+                for i, ch in enumerate(partition.chunks)
+            ),
+        )
+        report = analyze_partition(mutant, schedule)
+        assert "SH004" in report.rule_ids()
+        assert any(
+            "GQA group" in f.message for f in report.by_rule("SH004")
+        )
+
+    def test_dtype_mismatch_is_sh002(self):
+        partition = partition_from_spec(SPEC, 4)
+        embedding = partition.chunks[0].components[0]
+        # Same rank as token ids, wrong dtype: only SH002 can tell.
+        findings, _out = component_transfer(
+            embedding, SymTensor((BATCH, SLICE_LEN), "f64")
+        )
+        assert [f.rule_id for f in findings] == ["SH002"]
+        assert "i64" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Gradient-coverage pass (GC rules)
+# ----------------------------------------------------------------------
+class TestCoverageMutations:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dropped_wgrad_task_is_gc001(self, seed):
+        program, _schedule = mepipe_program()
+        rng = random.Random(seed)
+        c = rng.randrange(len(program.chunk_tasks))
+        tasks = list(program.chunk_tasks[c])
+        victim = tasks.pop(rng.randrange(len(tasks)))
+        program.chunk_tasks[c] = tuple(tasks)
+        findings = check_coverage(program)
+        assert {f.rule_id for f in findings} == {"GC001"}
+        assert len(findings) == 1  # deduped across cells
+        finding = findings[0]
+        assert victim.render() in finding.message
+        assert any(
+            f"live parameters expect: {victim.render()}" == line
+            for line in finding.witness
+        )
+        assert finding.op is not None and finding.op.kind.name == "B"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_duplicated_wgrad_task_is_gc002(self, seed):
+        program, _schedule = mepipe_program()
+        rng = random.Random(seed)
+        c = rng.randrange(len(program.chunk_tasks))
+        tasks = list(program.chunk_tasks[c])
+        victim = rng.choice(tasks)
+        program.chunk_tasks[c] = tuple(tasks + [victim])
+        findings = check_coverage(program)
+        assert {f.rule_id for f in findings} == {"GC002"}
+        assert victim.render() in findings[0].message
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unscheduled_w_group_is_gc003(self, seed):
+        program, _schedule = mepipe_program()
+        rng = random.Random(seed)
+        cell = rng.choice(sorted(program.w_of))
+        g = rng.choice(sorted(program.w_of[cell]))
+        del program.w_of[cell][g]
+        findings = check_coverage(program)
+        assert {f.rule_id for f in findings} == {"GC003"}
+        finding = findings[0]
+        assert f"gemm group {g}" in finding.message
+        assert any(f"group {g} holds: " in line for line in finding.witness)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_w_unordered_after_b_is_gc004(self, seed):
+        program, _schedule = mepipe_program()
+        rng = random.Random(seed)
+        cell = rng.choice(sorted(program.w_of))
+        w = program.w_of[cell][rng.choice(sorted(program.w_of[cell]))]
+        # Orphan the W op: no dependency edge, no program-order edge —
+        # the join no longer proves it runs after its backward.
+        program.hb_edges = [e for e in program.hb_edges if e[1] != w]
+        findings = check_coverage(program)
+        assert {f.rule_id for f in findings} == {"GC004"}
+        finding = findings[0]
+        graph = program.graph
+        assert str(graph.ops[w]) in finding.message
+        assert any(line.startswith("write: ") for line in finding.witness)
+        assert any(line.startswith("read:") for line in finding.witness)
+
+
+# ----------------------------------------------------------------------
+# Hazard pass (HZ rules)
+# ----------------------------------------------------------------------
+class TestHazardMutations:
+    def test_lost_program_order_is_hz001(self):
+        # Without same-stage program order, gradient accumulations of
+        # different micro-batches into one parameter buffer race.
+        schedule = built("dapple")
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        program = build_program(partition, compiled_graph(schedule))
+        graph = program.graph
+        program.hb_edges = [
+            (a, b) for a, b in program.hb_edges
+            if not (graph.stage[a] == graph.stage[b] and b == a + 1
+                    and b > 0 and graph.pos[b] > 0)
+        ]
+        findings = check_hazards(program)
+        assert {f.rule_id for f in findings} == {"HZ001"}
+        witness = findings[0].witness
+        assert len(witness) == 4  # two ops, the buffer, the explanation
+        assert witness[2].startswith("shared buffer: grads[")
+        assert "no happens-before path" in witness[3]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_swapped_forward_payload_is_hz002(self, seed):
+        schedule = built("terapipe", num_slices=4)
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        program = build_program(partition, compiled_graph(schedule))
+        problem = schedule.problem
+        s, chunks = problem.num_slices, problem.num_chunks
+        rng = random.Random(seed)
+        mb, sl = rng.randrange(problem.num_microbatches), rng.randrange(s)
+        c = rng.randrange(chunks - 1)
+        base = (mb * s + sl) * chunks
+        w, r = program.f_of[base + c], program.f_of[base + c + 1]
+        program.hb_edges = [e for e in program.hb_edges if e != (w, r)]
+        findings = check_hazards(program)
+        assert {f.rule_id for f in findings} == {"HZ002"}
+        finding = findings[0]
+        graph = program.graph
+        assert f"({mb}, {sl}, {c}->{c + 1})" in finding.message
+        assert str(graph.ops[w]) in finding.witness[0]
+        assert str(graph.ops[r]) in finding.witness[1]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_swapped_backward_payload_is_hz002(self, seed):
+        schedule = built("terapipe", num_slices=4)
+        partition = partition_from_spec(SPEC, schedule.problem.num_chunks)
+        program = build_program(partition, compiled_graph(schedule))
+        problem = schedule.problem
+        s, chunks = problem.num_slices, problem.num_chunks
+        rng = random.Random(seed)
+        mb, sl = rng.randrange(problem.num_microbatches), rng.randrange(s)
+        c = rng.randrange(chunks - 1)
+        base = (mb * s + sl) * chunks
+        w, r = program.b_of[base + c + 1], program.b_of[base + c]
+        program.hb_edges = [e for e in program.hb_edges if e != (w, r)]
+        findings = check_hazards(program)
+        assert {f.rule_id for f in findings} == {"HZ002"}
+        assert f"({mb}, {sl}, {c + 1}->{c})" in findings[0].message
+
+    def test_unordered_cell_w_ops_include_hz003(self):
+        program, _schedule = mepipe_program()
+        graph = program.graph
+        # Strip all program order: each cell's W ops keep only their
+        # shared dependency on the backward and become mutually
+        # unordered — the pinned-activation release has no maximum.
+        program.hb_edges = [
+            (a, b) for a, b in program.hb_edges
+            if not (b == a + 1 and graph.pos[b] > 0)
+        ]
+        findings = check_hazards(program)
+        ids = {f.rule_id for f in findings}
+        assert "HZ003" in ids
+        hz3 = next(f for f in findings if f.rule_id == "HZ003")
+        assert "pinned activations" in hz3.witness[2]
+        assert "no happens-before maximum" in hz3.message
+
+
+class TestDeterminism:
+    def test_mutated_report_is_deterministic(self):
+        reports = []
+        for _ in range(2):
+            program, _schedule = mepipe_program()
+            tasks = list(program.chunk_tasks[0])
+            tasks.pop(0)
+            program.chunk_tasks[0] = tuple(tasks)
+            reports.append(
+                "\n".join(f.render() for f in check_coverage(program))
+            )
+        assert reports[0] == reports[1]
