@@ -1,0 +1,49 @@
+"""Telemetry-bus overhead benchmarks.
+
+Two guards: the instrumented-but-disabled path (``NULL_SINK``, the
+default everywhere) must be indistinguishable from the pre-telemetry
+simulator — ``test_bench_simulate_large`` in the scheduler suite is the
+regression gate for that — and the enabled path (full event recording
+into a :class:`MemorySink`) must stay cheap enough to leave on during
+sweeps.
+"""
+
+from repro.obs import NULL_SINK, MemorySink, record_iteration
+from repro.schedules import build_problem, build_schedule
+from repro.sim import UniformCost, simulate
+
+
+def _large():
+    problem = build_problem("mepipe", 8, 64, num_slices=4, wgrad_gemms=2)
+    return build_schedule("mepipe", problem), UniformCost(problem, tw=1.0)
+
+
+def test_bench_simulate_null_sink(benchmark):
+    schedule, cost = _large()
+    result = benchmark(lambda: simulate(schedule, cost, sink=NULL_SINK))
+    assert result.makespan > 0
+
+
+def test_bench_simulate_memory_sink(benchmark):
+    schedule, cost = _large()
+
+    def run():
+        sink = MemorySink()
+        simulate(schedule, cost, sink=sink)
+        return sink
+
+    sink = benchmark(run)
+    assert sink.spans()
+
+
+def test_bench_record_iteration(benchmark):
+    schedule, cost = _large()
+    result = simulate(schedule, cost)
+
+    def run():
+        sink = MemorySink()
+        record_iteration(result, sink)
+        return sink
+
+    sink = benchmark(run)
+    assert len(sink.spans()) == schedule.op_count()

@@ -6,13 +6,14 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     ruff format --check src tests
     mypy src/repro/schedules src/repro/nn
     mypy --strict src/repro/analysis
+    mypy --strict src/repro/obs
     PYTHONPATH=src python -m pytest -x -q
     python -m repro check-model grid
 """
 
 import nox
 
-nox.options.sessions = ["lint", "analysis", "tests"]
+nox.options.sessions = ["lint", "analysis", "obs", "tests"]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
 LINT_TARGETS = ("src", "tests")
@@ -39,6 +40,23 @@ def analysis(session: nox.Session) -> None:
     session.install("-e", ".[lint]")
     session.run("mypy", "--strict", "src/repro/analysis")
     session.run("python", "-m", "repro", "check-model", "grid")
+
+
+@nox.session
+def obs(session: nox.Session) -> None:
+    """The telemetry-bus gate: strict typing plus the obs/facade tests.
+
+    ``repro.obs`` is the observability contract every substrate emits
+    through; it is held to ``mypy --strict`` and its test module covers
+    span nesting, JSONL round-trips, the Chrome-trace golden, and
+    sim-vs-runtime trace alignment.
+    """
+    session.install("-e", ".[test,lint]")
+    session.run("mypy", "--strict", "src/repro/obs")
+    session.run(
+        "python", "-m", "pytest", "-x", "-q",
+        "tests/test_obs.py", "tests/test_api.py",
+    )
 
 
 @nox.session

@@ -1,0 +1,99 @@
+"""Stable facade over the library's blessed entry points.
+
+Downstream code (notebooks, experiment drivers, external tooling)
+should import from here; internal module paths may move between
+releases, but these names will not.  One import gives the full
+pipeline-research loop::
+
+    from repro import api
+
+    problem = api.build_problem("mepipe", 4, 8, num_slices=4,
+                                wgrad_gemms=3)
+    schedule = api.build_schedule("mepipe", problem)
+    api.verify(schedule).ok                  # static safety tier
+    sim = api.simulate(schedule, cost)       # discrete-event replay
+    print(sim.metrics().render_text())       # uniform result API
+
+Everything observable rides the telemetry bus — pass any sink
+(:class:`MemorySink`, :class:`JsonlSink`, :class:`ChromeTraceSink`) to
+:func:`simulate`, :meth:`PipelineRuntime.run`, or :func:`plan`;
+the default :data:`NULL_SINK` keeps uninstrumented runs free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_spec as check_model
+from repro.hardware import ClusterSpec, GPUSpec, get_cluster
+from repro.model import ModelSpec, get_model, tiny_spec
+from repro.nn import build_model
+from repro.obs import (
+    NULL_SINK,
+    ChromeTraceSink,
+    Event,
+    EventSink,
+    IterationMetrics,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    PipelineResult,
+    TeeSink,
+    chrome_trace,
+    iteration_metrics,
+    record_iteration,
+)
+from repro.parallel import ParallelConfig
+from repro.pipeline import PipelineRuntime, RunResult
+from repro.planner import SearchResult, SweepCache, evaluate_config
+from repro.planner import search_method as plan
+from repro.profiler import Profiler
+from repro.schedules import (
+    PipelineProblem,
+    Schedule,
+    ScheduleError,
+    build_problem,
+    build_schedule,
+)
+from repro.schedules.verify import verify_schedule as verify
+from repro.sim import ClusterCost, SimResult, UniformCost, simulate
+
+__all__ = [
+    "ChromeTraceSink",
+    "ClusterCost",
+    "ClusterSpec",
+    "Event",
+    "EventSink",
+    "GPUSpec",
+    "IterationMetrics",
+    "JsonlSink",
+    "MemorySink",
+    "ModelSpec",
+    "NULL_SINK",
+    "NullSink",
+    "ParallelConfig",
+    "PipelineProblem",
+    "PipelineResult",
+    "PipelineRuntime",
+    "Profiler",
+    "RunResult",
+    "Schedule",
+    "ScheduleError",
+    "SearchResult",
+    "SimResult",
+    "SweepCache",
+    "TeeSink",
+    "UniformCost",
+    "build_model",
+    "build_problem",
+    "build_schedule",
+    "check_model",
+    "chrome_trace",
+    "evaluate_config",
+    "get_cluster",
+    "get_model",
+    "iteration_metrics",
+    "plan",
+    "record_iteration",
+    "simulate",
+    "tiny_spec",
+    "verify",
+]

@@ -14,6 +14,15 @@ Commands:
   coverage, happens-before hazards); exits non-zero on errors.
 * ``plan <model> <gbs>`` — grid-search every method and print the
   winners.
+* ``trace <method>`` — run one iteration on the simulator and/or the
+  NumPy runtime and export a combined Chrome/Perfetto trace via the
+  telemetry bus (``repro.obs``).
+* ``report <method>`` — run both substrates and print their uniform
+  :class:`~repro.obs.metrics.IterationMetrics` side by side.
+
+Subcommands are declared in the :data:`SUBCOMMANDS` registry — one
+:class:`Subcommand` entry per command bundling its flag setup and
+handler — so adding a command is one entry, not parser surgery.
 """
 
 from __future__ import annotations
@@ -21,25 +30,70 @@ from __future__ import annotations
 import argparse
 import json as _json
 import sys
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.model.spec import ModelSpec
+    from repro.pipeline.runtime import RunResult
+    from repro.schedules.base import PipelineProblem, Schedule
     from repro.schedules.verify import Report
+    from repro.sim.executor import SimResult
 
 
 # ----------------------------------------------------------------------
-# Shared report plumbing: ``verify`` and ``check-model`` take the same
-# ``--rules`` selector and ``--format text|json`` switch (``--json`` is
-# the historical shorthand) and render their Reports identically.
+# Declarative subcommand registry
 # ----------------------------------------------------------------------
-def _add_report_flags(parser: argparse.ArgumentParser) -> None:
+@dataclass(frozen=True)
+class Subcommand:
+    """One CLI command: name, help line, flag setup, and handler."""
+
+    name: str
+    help: str
+    configure: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
+
+
+# ----------------------------------------------------------------------
+# Shared flag groups
+# ----------------------------------------------------------------------
+def _shape_flags(
+    parser: argparse.ArgumentParser, *, aliases: bool = True
+) -> None:
+    """The (p, n, s, v, f, g) problem-shape flags every command shares."""
+    alias = (lambda long, short: (long, short)) if aliases else (
+        lambda long, short: (long,)
+    )
+    parser.add_argument(*alias("--stages", "--p"), type=int, default=4,
+                        help="pipeline stages p")
+    parser.add_argument(*alias("--microbatches", "--n"), type=int, default=4,
+                        help="micro-batches n")
+    parser.add_argument(*alias("--slices", "--s"), type=int, default=1,
+                        help="slices per sample s (SPP)")
+    parser.add_argument(*alias("--virtual", "--v"), type=int, default=1,
+                        help="chunks per stage v (VPP)")
+    parser.add_argument(*alias("--forwards", "--f"), type=int, default=None,
+                        help="f variant (SVPP/MEPipe)")
+    parser.add_argument("--wgrad-gemms", type=int, default=1)
+
+
+def _report_flags(parser: argparse.ArgumentParser) -> None:
+    """``--rules`` selector and ``--format text|json`` (``--json``
+    is the historical shorthand), shared by verify and check-model."""
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids (default: all)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report output format")
     parser.add_argument("--json", action="store_true",
                         help="shorthand for --format json")
+
+
+def _sweep_flags(parser: argparse.ArgumentParser, jobs_default: int | None) -> None:
+    parser.add_argument("--jobs", type=int, default=jobs_default,
+                        help="worker processes for the grid searches")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not reuse/persist sweep results on disk")
 
 
 def _selected_rules(
@@ -73,55 +127,12 @@ def _emit_reports(reports: list[Report], args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import REGISTRY
-    from repro.experiments.common import configure_planner
-
-    configure_planner(jobs=args.jobs, use_cache=not args.no_cache)
-    if args.id == "list":
-        for key in REGISTRY:
-            print(key)
-        return 0
-    if args.id not in REGISTRY:
-        print(f"unknown experiment {args.id!r}; try: {', '.join(REGISTRY)}")
-        return 2
-    print(REGISTRY[args.id]().render())
-    return 0
-
-
-def _cmd_schedule(args: argparse.Namespace) -> int:
-    from repro.schedules import build_problem, build_schedule
-    from repro.sim import UniformCost, simulate
-    from repro.viz import render_memory_profile, render_timeline, write_chrome_trace
-
-    problem = build_problem(
-        args.method,
-        args.stages,
-        args.microbatches,
-        num_slices=args.slices,
-        virtual_size=args.virtual,
-        wgrad_gemms=args.wgrad_gemms,
-    )
-    schedule = build_schedule(
-        args.method, problem, forwards_before_first_backward=args.forwards
-    )
-    result = simulate(schedule, UniformCost(problem, tw=args.tw))
-    print(render_timeline(result, width=args.width))
-    if args.memory:
-        print()
-        print(render_memory_profile(result, stage=0, width=args.width))
-    if args.trace:
-        path = write_chrome_trace(result, args.trace)
-        print(f"\nchrome trace written to {path} (open in ui.perfetto.dev)")
-    return 0
-
-
 def _build_for_cli(args: argparse.Namespace, method: str, **overrides):
     """Build (problem, schedule) from CLI shape flags.
 
     Returns ``(schedule, None)`` on success or ``(None, exit_code)``
-    after printing the diagnosis — shared by ``verify`` and
-    ``check-model``.
+    after printing the diagnosis — shared by every schedule-shaped
+    command.
     """
     from repro.schedules import ScheduleError, build_problem, build_schedule
 
@@ -151,6 +162,99 @@ def _build_for_cli(args: argparse.Namespace, method: str, **overrides):
         print(exc)
         return None, 1
     return schedule, None
+
+
+def _tiny_spec_for(problem: "PipelineProblem") -> "ModelSpec":
+    """A miniature model spec executable under ``problem``.
+
+    Enough decoder layers that embedding + head balance against them
+    under the problem's chunking (the Section 7.1 layout), with the
+    sequence divisible into the problem's slices.
+    """
+    from repro.model.spec import tiny_spec
+
+    seq = 32
+    if seq % problem.num_slices:
+        seq = problem.num_slices * 8
+    return tiny_spec(
+        num_layers=2 * problem.num_chunks - 2, seq_length=seq
+    )
+
+
+def _run_both_substrates(
+    args: argparse.Namespace, schedule: "Schedule", *, seed: int = 11
+) -> "tuple[SimResult, RunResult]":
+    """One iteration of ``schedule`` on the simulator and the runtime.
+
+    The simulated result is stamped with the byte sizes of the
+    runtime's actual float64 tensors, so the two substrates report the
+    same communication volume (message counts always agree — they are
+    derived from the same cross-stage boundary edges).
+    """
+    from repro.data import token_batches
+    from repro.model.memory import sample_activation_bytes
+    from repro.nn import build_model
+    from repro.pipeline import PipelineRuntime
+    from repro.sim import UniformCost, simulate
+
+    problem = schedule.problem
+    spec = _tiny_spec_for(problem)
+    batch = 2
+    sim_result = simulate(schedule, UniformCost(problem, tw=args.tw))
+    float64 = 8
+    sim_result.comm_bytes_per_message = float(
+        batch * (spec.seq_length // problem.num_slices)
+        * spec.hidden_size * float64
+    )
+    sim_result.activation_bytes_per_unit = float(
+        sample_activation_bytes(spec) * batch
+    )
+    tokens, targets = token_batches(
+        spec.vocab_size, problem.num_microbatches, batch, spec.seq_length,
+        seed=5,
+    )
+    model = build_model(spec, seed=seed)
+    run_result = PipelineRuntime(model, tokens, targets).run(schedule)
+    return sim_result, run_result
+
+
+# ----------------------------------------------------------------------
+# Command handlers
+# ----------------------------------------------------------------------
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY
+    from repro.experiments.common import configure_planner
+
+    configure_planner(jobs=args.jobs, use_cache=not args.no_cache)
+    if args.id == "list":
+        for key in REGISTRY:
+            print(key)
+        return 0
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; try: {', '.join(REGISTRY)}")
+        return 2
+    print(REGISTRY[args.id]().render())
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.obs.chrome import write_sim_trace
+    from repro.sim import UniformCost, simulate
+    from repro.viz import render_memory_profile, render_timeline
+
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
+    result = simulate(schedule, UniformCost(schedule.problem, tw=args.tw))
+    print(render_timeline(result, width=args.width))
+    if args.memory:
+        print()
+        print(render_memory_profile(result, stage=0, width=args.width))
+    if args.trace:
+        path = write_sim_trace(result, args.trace)
+        print(f"\nchrome trace written to {path} (open in ui.perfetto.dev)")
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -231,92 +335,154 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.record import record_iteration
+    from repro.obs.sinks import ChromeTraceSink
+
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
+    sim_result, run_result = _run_both_substrates(args, schedule)
+    sink = ChromeTraceSink(
+        args.out,
+        other_data={
+            "schedule": schedule.name,
+            "sim_bubble_ratio": round(sim_result.bubble_ratio, 6),
+            "runtime_bubble_ratio": round(run_result.bubble_ratio, 6),
+        },
+    )
+    with sink:
+        if args.substrate in ("both", "sim"):
+            record_iteration(sim_result, sink, pid=0, process="simulated")
+        if args.substrate in ("both", "runtime"):
+            record_iteration(run_result, sink, pid=1, process="executed")
+    print(f"chrome trace written to {args.out} (open in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
+    sim_result, run_result = _run_both_substrates(args, schedule)
+    sim_metrics = sim_result.metrics()
+    run_metrics = run_result.metrics()
+    if args.json or args.format == "json":
+        print(_json.dumps(
+            {"sim": sim_metrics.to_dict(), "runtime": run_metrics.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(sim_metrics.render_text())
+        print()
+        print(run_metrics.render_text())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Per-command flag setup
+# ----------------------------------------------------------------------
+def _configure_experiment(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("id", help="experiment id, or 'list'")
+    _sweep_flags(parser, jobs_default=None)
+
+
+def _configure_schedule(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    parser.add_argument("--tw", type=float, default=1.0,
+                        help="weight-gradient time (split methods)")
+    parser.add_argument("--width", type=int, default=120)
+    parser.add_argument("--memory", action="store_true",
+                        help="also render stage 0's activation profile")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome/Perfetto trace JSON")
+
+
+def _configure_verify(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    _report_flags(parser)
+
+
+def _configure_check_model(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "method", help="scheduling method, or 'grid' for the E0 acceptance grid"
+    )
+    parser.add_argument("--model", default="tiny",
+                        help="model spec: tiny / 7b / 13b / 34b")
+    _shape_flags(parser)
+    _report_flags(parser)
+
+
+def _configure_plan(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", help="7b / 13b / 34b")
+    parser.add_argument("gbs", type=int)
+    parser.add_argument("--cluster", default="rtx4090-64")
+    parser.add_argument("--methods", default="dapple,vpp,zb,zbv,mepipe")
+    _sweep_flags(parser, jobs_default=1)
+    parser.add_argument("--show-skipped", action="store_true",
+                        help="print every pruned/rejected config with reason")
+
+
+def _configure_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    parser.add_argument("--tw", type=float, default=1.0,
+                        help="weight-gradient time (split methods)")
+    parser.add_argument("--out", metavar="FILE", default="trace.json",
+                        help="output trace path")
+    parser.add_argument("--substrate", choices=("both", "sim", "runtime"),
+                        default="both",
+                        help="which substrate(s) to record")
+
+
+def _configure_report(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    parser.add_argument("--tw", type=float, default=1.0,
+                        help="weight-gradient time (split methods)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="metrics output format")
+    parser.add_argument("--json", action="store_true",
+                        help="shorthand for --format json")
+
+
+#: Every CLI command, declaratively.  ``build_parser`` materializes the
+#: argparse tree from this table.
+SUBCOMMANDS: tuple[Subcommand, ...] = (
+    Subcommand("experiment", "regenerate a paper artifact",
+               _configure_experiment, _cmd_experiment),
+    Subcommand("schedule", "render a schedule timeline",
+               _configure_schedule, _cmd_schedule),
+    Subcommand("verify", "statically verify a generated schedule",
+               _configure_verify, _cmd_verify),
+    Subcommand("check-model",
+               "statically analyze the (model partition, schedule) pair",
+               _configure_check_model, _cmd_check_model),
+    Subcommand("plan", "grid-search parallel strategies",
+               _configure_plan, _cmd_plan),
+    Subcommand("trace",
+               "export a combined sim + runtime Chrome/Perfetto trace",
+               _configure_trace, _cmd_trace),
+    Subcommand("report",
+               "print uniform iteration metrics from both substrates",
+               _configure_report, _cmd_report),
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="mepipe", description="MEPipe reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
-    p_exp.add_argument("id", help="experiment id, or 'list'")
-    p_exp.add_argument("--jobs", type=int, default=None,
-                       help="worker processes for the grid searches")
-    p_exp.add_argument("--no-cache", action="store_true",
-                       help="do not reuse/persist sweep results on disk")
-    p_exp.set_defaults(func=_cmd_experiment)
-
-    p_sched = sub.add_parser("schedule", help="render a schedule timeline")
-    p_sched.add_argument("method")
-    p_sched.add_argument("--stages", type=int, default=4)
-    p_sched.add_argument("--microbatches", type=int, default=4)
-    p_sched.add_argument("--slices", type=int, default=1)
-    p_sched.add_argument("--virtual", type=int, default=1)
-    p_sched.add_argument("--forwards", type=int, default=None,
-                         help="f variant (SVPP/MEPipe)")
-    p_sched.add_argument("--wgrad-gemms", type=int, default=1)
-    p_sched.add_argument("--tw", type=float, default=1.0,
-                         help="weight-gradient time (split methods)")
-    p_sched.add_argument("--width", type=int, default=120)
-    p_sched.add_argument("--memory", action="store_true",
-                         help="also render stage 0's activation profile")
-    p_sched.add_argument("--trace", metavar="FILE", default=None,
-                         help="write a Chrome/Perfetto trace JSON")
-    p_sched.set_defaults(func=_cmd_schedule)
-
-    p_ver = sub.add_parser(
-        "verify", help="statically verify a generated schedule"
-    )
-    p_ver.add_argument("method")
-    p_ver.add_argument("--stages", "--p", type=int, default=4,
-                       help="pipeline stages p")
-    p_ver.add_argument("--microbatches", "--n", type=int, default=4,
-                       help="micro-batches n")
-    p_ver.add_argument("--slices", "--s", type=int, default=1,
-                       help="slices per sample s (SPP)")
-    p_ver.add_argument("--virtual", "--v", type=int, default=1,
-                       help="chunks per stage v (VPP)")
-    p_ver.add_argument("--forwards", "--f", type=int, default=None,
-                       help="f variant (SVPP/MEPipe)")
-    p_ver.add_argument("--wgrad-gemms", type=int, default=1)
-    _add_report_flags(p_ver)
-    p_ver.set_defaults(func=_cmd_verify)
-
-    p_chk = sub.add_parser(
-        "check-model",
-        help="statically analyze the (model partition, schedule) pair",
-    )
-    p_chk.add_argument(
-        "method", help="scheduling method, or 'grid' for the E0 acceptance grid"
-    )
-    p_chk.add_argument("--model", default="tiny",
-                       help="model spec: tiny / 7b / 13b / 34b")
-    p_chk.add_argument("--stages", "--p", type=int, default=4,
-                       help="pipeline stages p")
-    p_chk.add_argument("--microbatches", "--n", type=int, default=4,
-                       help="micro-batches n")
-    p_chk.add_argument("--slices", "--s", type=int, default=1,
-                       help="slices per sample s (SPP)")
-    p_chk.add_argument("--virtual", "--v", type=int, default=1,
-                       help="chunks per stage v (VPP)")
-    p_chk.add_argument("--forwards", "--f", type=int, default=None,
-                       help="f variant (SVPP/MEPipe)")
-    p_chk.add_argument("--wgrad-gemms", type=int, default=1)
-    _add_report_flags(p_chk)
-    p_chk.set_defaults(func=_cmd_check_model)
-
-    p_plan = sub.add_parser("plan", help="grid-search parallel strategies")
-    p_plan.add_argument("model", help="7b / 13b / 34b")
-    p_plan.add_argument("gbs", type=int)
-    p_plan.add_argument("--cluster", default="rtx4090-64")
-    p_plan.add_argument("--methods", default="dapple,vpp,zb,zbv,mepipe")
-    p_plan.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the grid search")
-    p_plan.add_argument("--no-cache", action="store_true",
-                        help="do not reuse/persist sweep results on disk")
-    p_plan.add_argument("--show-skipped", action="store_true",
-                        help="print every pruned/rejected config with reason")
-    p_plan.set_defaults(func=_cmd_plan)
+    for command in SUBCOMMANDS:
+        sub_parser = sub.add_parser(command.name, help=command.help)
+        command.configure(sub_parser)
+        sub_parser.set_defaults(func=command.run)
     return parser
 
 

@@ -53,6 +53,7 @@ def search(
         global_batch_size,
         jobs=SETTINGS.jobs,
         cache=SETTINGS.cache,
+        sink=SETTINGS.sink,
     )
 
 

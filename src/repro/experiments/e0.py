@@ -14,6 +14,7 @@ from repro.data import token_batches
 from repro.experiments.common import ExperimentReport
 from repro.model.spec import ModelSpec, tiny_spec
 from repro.nn import build_model, sequential_step
+from repro.obs.events import NULL_SINK, EventSink
 from repro.pipeline import PipelineRuntime
 from repro.schedules.methods import build_problem, build_schedule
 
@@ -33,8 +34,15 @@ def run(
     num_stages: int = 4,
     num_microbatches: int = 4,
     seed: int = 11,
+    sink: EventSink = NULL_SINK,
 ) -> ExperimentReport:
-    """Execute E0 and report max gradient deviation per method."""
+    """Execute E0 and report max gradient deviation per method.
+
+    With an enabled ``sink``, every method's executed iteration is
+    recorded onto the telemetry bus as its own process group (``pid`` =
+    method index, named after the method), so the whole E0 grid loads
+    as one side-by-side trace.
+    """
     spec = spec or tiny_spec(
         hidden_size=32, num_layers=6, num_heads=4, ffn_hidden_size=64,
         vocab_size=31, seq_length=16,
@@ -50,11 +58,15 @@ def run(
         title="Functionality: pipelined vs sequential gradients",
         header=["method", "loss delta", "max grad delta", "status"],
     )
-    for method, kwargs in METHOD_SETUPS:
+    for index, (method, kwargs) in enumerate(METHOD_SETUPS):
         problem = build_problem(method, num_stages, num_microbatches, **kwargs)
         schedule = build_schedule(method, problem)
         model = build_model(spec, seed=seed)
         result = PipelineRuntime(model, tokens, targets).run(schedule)
+        if sink.enabled:
+            from repro.obs.record import record_iteration
+
+            record_iteration(result, sink, pid=index, process=method)
         grad_delta = max(
             float(np.abs(g - ref_grads[k]).max())
             for k, g in model.named_grads().items()

@@ -1,0 +1,64 @@
+"""Unified telemetry bus: events, sinks, traces, iteration metrics.
+
+One instrumentation layer every substrate emits into — the simulator,
+the numerical pipeline runtime, the profiler, and the planner sweeps —
+and one result API every consumer reads from (``IterationMetrics`` via
+the shared ``PipelineResult`` protocol).  See ``docs/observability.md``.
+"""
+
+from repro.obs.chrome import (
+    OP_COLORS,
+    chrome_trace,
+    sim_chrome_trace,
+    write_sim_trace,
+)
+from repro.obs.events import (
+    NULL_SINK,
+    Event,
+    EventSink,
+    NullSink,
+    ObsError,
+    Sink,
+)
+from repro.obs.metrics import (
+    CommLog,
+    IterationMetrics,
+    PipelineResult,
+    SpanRow,
+    iteration_metrics,
+    schedule_comm_log,
+)
+from repro.obs.record import record_iteration, record_sim_comm
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    TeeSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "NULL_SINK",
+    "OP_COLORS",
+    "ChromeTraceSink",
+    "CommLog",
+    "Event",
+    "EventSink",
+    "IterationMetrics",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "ObsError",
+    "PipelineResult",
+    "Sink",
+    "SpanRow",
+    "TeeSink",
+    "chrome_trace",
+    "iteration_metrics",
+    "read_jsonl",
+    "record_iteration",
+    "record_sim_comm",
+    "schedule_comm_log",
+    "sim_chrome_trace",
+    "write_sim_trace",
+]

@@ -1,0 +1,146 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) rendering of events.
+
+This is the JSON event format the paper's own timeline figures (11-12)
+were made with.  It absorbs the former ``repro.viz.trace`` exporter:
+:func:`sim_chrome_trace` reproduces that module's output exactly (one
+row per stage, one duration event per op, colored by op kind), while
+:func:`chrome_trace` renders *any* event stream from the telemetry bus
+— including a simulated and an executed iteration side by side as two
+process groups in one trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports obs)
+    from repro.sim.executor import SimResult
+
+#: Perfetto color names per op-kind category.
+OP_COLORS = {
+    "F": "thread_state_running",
+    "B": "thread_state_iowait",
+    "W": "thread_state_runnable",
+}
+
+#: Floor for rendered span durations so zero-length ops stay visible.
+MIN_DUR_US = 0.01
+
+
+def chrome_trace(
+    events: list[Event],
+    *,
+    time_unit_us: float = 1e6,
+    other_data: Mapping[str, object] | None = None,
+    colors: Mapping[str, str] | None = None,
+) -> dict[str, object]:
+    """Convert a telemetry event stream into a Chrome-trace dictionary.
+
+    Args:
+        events: Events in emission order (preserved in the output).
+        time_unit_us: Microseconds per unit of event time (1e6 when
+            events carry seconds; pick anything for abstract units).
+        other_data: Payload for the trace's ``otherData`` block.
+        colors: Optional category -> Perfetto ``cname`` mapping applied
+            to spans (:data:`OP_COLORS` colors op kinds).
+    """
+    out: list[dict[str, object]] = []
+    for event in events:
+        if event.kind == "meta":
+            out.append(
+                {
+                    "name": event.name,
+                    "ph": "M",
+                    "pid": event.pid,
+                    "tid": event.tid,
+                    "args": dict(event.args),
+                }
+            )
+        elif event.kind == "span":
+            entry: dict[str, object] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "X",
+                "pid": event.pid,
+                "tid": event.tid,
+                "ts": event.ts * time_unit_us,
+                "dur": max(event.dur * time_unit_us, MIN_DUR_US),
+            }
+            if colors and event.cat in colors:
+                entry["cname"] = colors[event.cat]
+            entry["args"] = dict(event.args)
+            out.append(entry)
+        elif event.kind == "instant":
+            out.append(
+                {
+                    "name": event.name,
+                    "cat": event.cat,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": event.pid,
+                    "tid": event.tid,
+                    "ts": event.ts * time_unit_us,
+                    "args": dict(event.args),
+                }
+            )
+        else:  # counter
+            out.append(
+                {
+                    "name": event.name,
+                    "ph": "C",
+                    "pid": event.pid,
+                    "tid": event.tid,
+                    "ts": event.ts * time_unit_us,
+                    "args": {"value": event.value},
+                }
+            )
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": dict(other_data or {}),
+    }
+
+
+def sim_chrome_trace(
+    result: "SimResult", time_unit_us: float = 1e6
+) -> dict[str, object]:
+    """Chrome trace of one simulated iteration.
+
+    Produces the exact event structure of the legacy
+    ``repro.viz.trace.to_chrome_trace`` (same rows, events, colors, and
+    ``otherData``), but routed through the telemetry bus: the trace is
+    one :func:`~repro.obs.record.record_iteration` pass into a
+    :class:`~repro.obs.sinks.MemorySink`, rendered by
+    :func:`chrome_trace`.
+    """
+    from repro.obs.record import record_iteration
+    from repro.obs.sinks import MemorySink
+
+    sink = MemorySink()
+    record_iteration(result, sink, counters=False, channel_events=False)
+    # The legacy exporter did not emit span args beyond the op coords;
+    # record_iteration emits exactly those, so the structures agree.
+    return chrome_trace(
+        sink.events,
+        time_unit_us=time_unit_us,
+        colors=OP_COLORS,
+        other_data={
+            "schedule": result.schedule_name,
+            "bubble_ratio": round(result.bubble_ratio, 6),
+            "peak_activation_units": round(result.peak_activation_units, 6),
+        },
+    )
+
+
+def write_sim_trace(
+    result: "SimResult", path: str | Path, time_unit_us: float = 1e6
+) -> Path:
+    """Write :func:`sim_chrome_trace` JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(sim_chrome_trace(result, time_unit_us)))
+    return path

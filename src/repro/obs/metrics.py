@@ -1,0 +1,232 @@
+"""The redesigned result/metrics API shared by simulator and runtime.
+
+MEPipe's evaluation revolves around a handful of per-iteration
+quantities — per-op timelines (Figures 11-12), per-stage bubble ratio
+and peak activation memory (Tables 2-3), and cross-stage communication
+volume.  Both execution substrates expose them through one vocabulary:
+
+* :class:`PipelineResult` — the protocol ``SimResult`` (simulated) and
+  ``RunResult`` (numerically executed) both satisfy, so experiments and
+  visualization stop special-casing the two.
+* :class:`IterationMetrics` — the uniform per-iteration summary either
+  result derives via ``metrics()``; the ``repro report`` CLI prints it.
+* :class:`CommLog` — cross-stage traffic (moved here from
+  ``repro.pipeline.runtime``, which re-exports it unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedules.base import PipelineProblem
+
+
+@dataclass
+class CommLog:
+    """Cross-stage traffic of one iteration: message counts and bytes."""
+
+    messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    bytes_total: int = 0
+
+    def note(self, src: int, dst: int, nbytes: int) -> None:
+        key = (src, dst)
+        self.messages[key] = self.messages.get(key, 0) + 1
+        self.bytes_total += nbytes
+
+    @property
+    def message_count(self) -> int:
+        return sum(self.messages.values())
+
+
+def schedule_comm_log(
+    problem: "PipelineProblem", bytes_per_message: float = 0.0
+) -> CommLog:
+    """The cross-stage traffic any valid execution of ``problem`` incurs.
+
+    Every chunk-boundary edge that crosses a stage boundary is one
+    message: forward activations flow ``c -> c+1``, activation
+    gradients flow ``c -> c-1`` (mirroring exactly the sends the
+    numerical runtime performs).  ``bytes_per_message`` sizes each
+    message when the payload is known (the boundary tensor of one
+    micro-batch slice); counts are exact either way.
+    """
+    log = CommLog()
+    per_sample = problem.num_microbatches * problem.num_slices
+    nbytes = int(bytes_per_message)
+    for c in range(problem.num_chunks - 1):
+        src, dst = problem.stage_of_chunk(c), problem.stage_of_chunk(c + 1)
+        if src == dst:
+            continue
+        for _ in range(per_sample):
+            log.note(src, dst, nbytes)  # forward activation c -> c+1
+            log.note(dst, src, nbytes)  # activation gradient c+1 -> c
+    return log
+
+
+@dataclass(frozen=True)
+class SpanRow:
+    """One executed op in the uniform span table."""
+
+    stage: int
+    name: str
+    cat: str
+    start: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """Uniform summary of one training iteration, however it was run.
+
+    Attributes:
+        source: ``"sim"`` (discrete-event replay) or ``"runtime"``
+            (numerical execution).
+        time_unit: ``"model"`` for the simulator's abstract/calibrated
+            units, ``"seconds"`` for measured wall clock.
+        schedule_name: Name of the executed schedule.
+        num_stages: Pipeline stages.
+        ops_executed: Total ops across stages.
+        stage_op_counts: Ops per stage.
+        bubble_ratio: Aggregate idle fraction ``1 - busy/(p*makespan)``
+            in the result's own time base (for the runtime this is
+            wall-clock idle of the single-process execution).
+        stage_peak_bytes: Per-stage peak live activation bytes (the
+            simulator converts its ledger units via the cost model's
+            bytes-per-unit; zero when no conversion is known).
+        comm_messages: Cross-stage messages sent.
+        comm_bytes: Cross-stage bytes sent (zero when payload sizes are
+            unknown to the substrate).
+        span_table: Per-op ``(stage, name, kind, start, duration)``
+            rows, per-stage in start order.
+    """
+
+    source: str
+    time_unit: str
+    schedule_name: str
+    num_stages: int
+    ops_executed: int
+    stage_op_counts: tuple[int, ...]
+    bubble_ratio: float
+    stage_peak_bytes: tuple[int, ...]
+    comm_messages: int
+    comm_bytes: int
+    span_table: tuple[SpanRow, ...]
+
+    @property
+    def peak_live_bytes(self) -> int:
+        """Largest per-stage peak."""
+        return max(self.stage_peak_bytes, default=0)
+
+    def to_dict(self, spans: bool = False) -> dict[str, object]:
+        """JSON-serializable form; ``spans`` includes the span table."""
+        out: dict[str, object] = {
+            "source": self.source,
+            "time_unit": self.time_unit,
+            "schedule": self.schedule_name,
+            "num_stages": self.num_stages,
+            "ops_executed": self.ops_executed,
+            "stage_op_counts": list(self.stage_op_counts),
+            "bubble_ratio": self.bubble_ratio,
+            "stage_peak_bytes": list(self.stage_peak_bytes),
+            "peak_live_bytes": self.peak_live_bytes,
+            "comm_messages": self.comm_messages,
+            "comm_bytes": self.comm_bytes,
+        }
+        if spans:
+            out["span_table"] = [
+                {
+                    "stage": r.stage,
+                    "name": r.name,
+                    "cat": r.cat,
+                    "start": r.start,
+                    "duration": r.duration,
+                }
+                for r in self.span_table
+            ]
+        return out
+
+    def render_text(self) -> str:
+        """Fixed-width rendering for the ``repro report`` CLI."""
+        lines = [
+            f"== {self.schedule_name} [{self.source}, {self.time_unit}] ==",
+            f"  stages           {self.num_stages}",
+            f"  ops executed     {self.ops_executed}  "
+            f"(per stage: {', '.join(str(c) for c in self.stage_op_counts)})",
+            f"  bubble ratio     {self.bubble_ratio:.4f}",
+            f"  peak live bytes  {self.peak_live_bytes}  "
+            f"(per stage: {', '.join(str(b) for b in self.stage_peak_bytes)})",
+            f"  comm messages    {self.comm_messages}",
+            f"  comm bytes       {self.comm_bytes}",
+        ]
+        return "\n".join(lines)
+
+
+@runtime_checkable
+class PipelineResult(Protocol):
+    """What any per-iteration result exposes, simulated or executed.
+
+    ``SimResult`` and ``RunResult`` both satisfy this protocol; the
+    legacy per-class attributes (``peak_activation_units``,
+    ``stage_stats``, ``comms``, ...) remain as thin delegates.
+    """
+
+    schedule_name: str
+
+    @property
+    def bubble_ratio(self) -> float: ...
+
+    @property
+    def peak_live_bytes(self) -> int: ...
+
+    @property
+    def stage_peak_bytes(self) -> tuple[int, ...]: ...
+
+    @property
+    def comm_volume(self) -> CommLog: ...
+
+    def stage_records(self, stage: int) -> list[Any]: ...
+
+    def metrics(self) -> IterationMetrics: ...
+
+
+def iteration_metrics(
+    result: Any, *, source: str, time_unit: str, num_stages: int
+) -> IterationMetrics:
+    """Derive :class:`IterationMetrics` from any :class:`PipelineResult`.
+
+    The derivation is uniform: only the protocol accessors are used, so
+    a simulated and an executed iteration of the same schedule produce
+    structurally identical metrics (same rows, same op counts, same
+    communication volume) with only the time base differing.
+    """
+    rows: list[SpanRow] = []
+    counts: list[int] = []
+    for stage in range(num_stages):
+        records = result.stage_records(stage)
+        counts.append(len(records))
+        for record in records:
+            rows.append(
+                SpanRow(
+                    stage=stage,
+                    name=str(record.op),
+                    cat=record.op.kind.value,
+                    start=record.start,
+                    duration=record.duration,
+                )
+            )
+    comms: CommLog = result.comm_volume
+    return IterationMetrics(
+        source=source,
+        time_unit=time_unit,
+        schedule_name=result.schedule_name,
+        num_stages=num_stages,
+        ops_executed=sum(counts),
+        stage_op_counts=tuple(counts),
+        bubble_ratio=result.bubble_ratio,
+        stage_peak_bytes=tuple(result.stage_peak_bytes),
+        comm_messages=comms.message_count,
+        comm_bytes=comms.bytes_total,
+        span_table=tuple(rows),
+    )

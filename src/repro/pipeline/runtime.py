@@ -6,17 +6,39 @@ pipeline stage executes its ordered op program, and tensors flow through
 explicit channels.  Any valid schedule — DAPPLE, TeraPipe, VPP, SVPP,
 MEPipe with deferred weight-gradient GEMMs — must produce gradients
 identical to sequential execution; the test suite asserts exactly that.
+
+Every op is wall-clock timed (relative to iteration start), so a
+:class:`RunResult` satisfies the same :class:`~repro.obs.metrics
+.PipelineResult` protocol as a simulated iteration and feeds the same
+telemetry bus (``repro.obs``): pass a sink to :meth:`PipelineRuntime
+.run` and the executed iteration renders row-for-row next to its
+simulated counterpart in a trace viewer.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn.layers import Component, LossHead
 from repro.nn.model import TransformerModel
-from repro.schedules.base import OpId, OpKind, Schedule, ScheduleError
+from repro.obs.events import NULL_SINK, EventSink
+from repro.obs.metrics import CommLog
+from repro.schedules.base import OpId, OpKind, PipelineProblem, Schedule, ScheduleError
+from repro.sim.executor import OpRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import IterationMetrics
+
+__all__ = [
+    "CommLog",  # moved to repro.obs.metrics; re-exported for back-compat
+    "PipelineRuntime",
+    "RunResult",
+    "StageStats",
+]
 
 Array = np.ndarray
 
@@ -30,33 +52,27 @@ class StageStats:
     peak_live_contexts: int = 0
     peak_live_bytes: int = 0
     wgrad_tasks_run: int = 0
-
-
-@dataclass
-class CommLog:
-    """Cross-stage traffic observed during numerical execution."""
-
-    messages: dict[tuple[int, int], int] = field(default_factory=dict)
-    bytes_total: int = 0
-
-    def note(self, src: int, dst: int, nbytes: int) -> None:
-        key = (src, dst)
-        self.messages[key] = self.messages.get(key, 0) + 1
-        self.bytes_total += nbytes
-
-    @property
-    def message_count(self) -> int:
-        return sum(self.messages.values())
+    busy_seconds: float = 0.0
 
 
 @dataclass
 class RunResult:
-    """Outcome of one pipelined training iteration."""
+    """Outcome of one pipelined training iteration.
+
+    Satisfies the :class:`~repro.obs.metrics.PipelineResult` protocol:
+    ``bubble_ratio`` / ``stage_peak_bytes`` / ``comm_volume`` /
+    ``stage_records`` / ``metrics()`` mirror the simulator's accessors,
+    with wall-clock seconds as the time base.
+    """
 
     loss: float
     stage_stats: list[StageStats]
     ops_executed: int
     comms: CommLog = field(default_factory=CommLog)
+    schedule_name: str = "unnamed"
+    problem: PipelineProblem | None = None
+    wall_seconds: float = 0.0
+    stage_record_lists: list[list[OpRecord]] = field(default_factory=list)
 
     @property
     def peak_live_contexts(self) -> int:
@@ -67,6 +83,48 @@ class RunResult:
     def peak_live_bytes(self) -> int:
         """Largest live activation footprint on any stage, in bytes."""
         return max(s.peak_live_bytes for s in self.stage_stats)
+
+    # -- PipelineResult protocol ---------------------------------------
+    @property
+    def stage_peak_bytes(self) -> tuple[int, ...]:
+        """Per-stage peak live activation bytes (measured)."""
+        return tuple(s.peak_live_bytes for s in self.stage_stats)
+
+    @property
+    def comm_volume(self) -> CommLog:
+        """Cross-stage traffic (alias of ``comms``)."""
+        return self.comms
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Wall-clock idle fraction ``1 - busy / (p * wall)``.
+
+        The runtime executes all stages in one process, so stage "idle"
+        here includes time spent running other stages' ops — useful for
+        comparing schedules against each other on this substrate, not
+        as an absolute device-utilization figure.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        busy = sum(s.busy_seconds for s in self.stage_stats)
+        return 1.0 - busy / (len(self.stage_stats) * self.wall_seconds)
+
+    def stage_records(self, stage: int) -> list[OpRecord]:
+        """Wall-clock op records of one stage, in start order."""
+        if not self.stage_record_lists:
+            return []
+        return self.stage_record_lists[stage]
+
+    def metrics(self) -> "IterationMetrics":
+        """Uniform :class:`~repro.obs.metrics.IterationMetrics` summary."""
+        from repro.obs.metrics import iteration_metrics
+
+        return iteration_metrics(
+            self,
+            source="runtime",
+            time_unit="seconds",
+            num_stages=len(self.stage_stats),
+        )
 
 
 @dataclass
@@ -97,11 +155,16 @@ class PipelineRuntime:
         model.head.loss_scale = 1.0 / (n * batch * seqlen)
 
     # ------------------------------------------------------------------
-    def run(self, schedule: Schedule) -> RunResult:
+    def run(self, schedule: Schedule, sink: EventSink = NULL_SINK) -> RunResult:
         """Execute one iteration under ``schedule``.
 
         Gradients accumulate into the model; call ``model.init_grads()``
         between iterations (or use :class:`repro.nn.Adam`, which does).
+
+        When ``sink`` is enabled, the iteration's telemetry (per-op
+        spans, channel send/recv instants, per-stage counters) is
+        emitted after execution via :func:`repro.obs.record
+        .record_iteration`.
         """
         from repro.analysis import ensure_model_verified
         from repro.schedules.verify import ensure_verified
@@ -124,6 +187,7 @@ class PipelineRuntime:
         programs = [schedule.stage_ops(s) for s in range(problem.num_stages)]
         channels = _Channels()
         stats = [StageStats(stage=s) for s in range(problem.num_stages)]
+        records: list[list[OpRecord]] = [[] for _ in range(problem.num_stages)]
         wgrad_groups: dict[tuple[int, int, int], list[list]] = {}
         comms = CommLog()
         loss = 0.0
@@ -135,6 +199,7 @@ class PipelineRuntime:
         heads = [0] * problem.num_stages
         done: set[OpId] = set()
         total = schedule.op_count()
+        t0 = time.perf_counter()
         while len(done) < total:
             progressed = False
             for stage in range(problem.num_stages):
@@ -143,25 +208,41 @@ class PipelineRuntime:
                     op = program[heads[stage]]
                     if any(d not in done for d in problem.deps(op)):
                         break
+                    op_start = time.perf_counter() - t0
                     loss += self._execute(
                         op, problem, chunks, channels, wgrad_groups,
                         stats[stage], stage_components[stage], comms)
+                    op_end = time.perf_counter() - t0
+                    stats[stage].busy_seconds += op_end - op_start
+                    records[stage].append(
+                        OpRecord(op=op, stage=stage, start=op_start, end=op_end)
+                    )
                     done.add(op)
                     heads[stage] += 1
                     progressed = True
             if not progressed:
                 raise ScheduleError("pipeline runtime deadlock")
+        wall = time.perf_counter() - t0
 
         if channels.forward or channels.backward:
             raise ScheduleError("unconsumed channel tensors at iteration end")
         if wgrad_groups and any(any(g) for g in wgrad_groups.values()):
             raise ScheduleError("unexecuted weight-gradient tasks remain")
-        return RunResult(
+        result = RunResult(
             loss=loss,
             stage_stats=stats,
             ops_executed=sum(s.ops_executed for s in stats),
             comms=comms,
+            schedule_name=schedule.name,
+            problem=problem,
+            wall_seconds=wall,
+            stage_record_lists=records,
         )
+        if sink.enabled:
+            from repro.obs.record import record_iteration
+
+            record_iteration(result, sink)
+        return result
 
     # ------------------------------------------------------------------
     def _slice_tokens(self, source: Array, mb: int, sl: int, s: int) -> Array:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from hashlib import sha256
@@ -34,6 +35,7 @@ from pathlib import Path
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
+from repro.obs.events import NULL_SINK, EventSink
 from repro.parallel.strategies import ParallelConfig
 from repro.planner.evaluate import EvalResult, evaluate_config
 from repro.schedules.base import ScheduleError
@@ -153,13 +155,16 @@ class SweepCache:
             tmp.unlink(missing_ok=True)
 
 
-def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome]:
+def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome, float]:
     """Worker body: evaluate one cell, mapping rejections to outcomes.
 
     Module-level (picklable) and index-tagged so pool results can be
-    merged deterministically regardless of completion order.
+    merged deterministically regardless of completion order.  The third
+    element is the evaluation's wall-clock duration, reported back so
+    the parent can emit per-config telemetry spans even for pool runs.
     """
     index, task = indexed
+    start = time.perf_counter()
     try:
         result = evaluate_config(
             task.method,
@@ -170,14 +175,15 @@ def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome]:
         )
     except (ScheduleError, ValueError) as exc:
         first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
-        return index, EvalOutcome(error=first)
-    return index, EvalOutcome(result=result)
+        return index, EvalOutcome(error=first), time.perf_counter() - start
+    return index, EvalOutcome(result=result), time.perf_counter() - start
 
 
 def evaluate_tasks(
     tasks: list[EvalTask],
     jobs: int = 1,
     cache: SweepCache | None = None,
+    sink: EventSink = NULL_SINK,
 ) -> list[EvalOutcome]:
     """Evaluate every task; returns outcomes aligned with ``tasks``.
 
@@ -186,26 +192,67 @@ def evaluate_tasks(
     The returned list depends only on the task list — not on worker
     count, scheduling, or cache state — which is what makes sweeps
     reproducible across machines and ``--jobs`` settings.
+
+    With an enabled ``sink``, the sweep emits one ``cache hit`` instant
+    per replayed cell, one ``eval`` span per computed cell (worker
+    durations are measured in the worker; pool runs lay the spans out
+    at merge time), and final ``cache_hits`` / ``evaluated`` /
+    ``errors`` counters.
     """
+    observing = sink.enabled
+    t0 = time.perf_counter() if observing else 0.0
     outcomes: list[EvalOutcome | None] = [None] * len(tasks)
     pending: list[tuple[int, EvalTask]] = []
+    cache_hits = 0
     for i, task in enumerate(tasks):
         hit = cache.get(task) if cache is not None else None
         if hit is not None:
             outcomes[i] = hit
+            cache_hits += 1
+            if observing:
+                sink.instant(
+                    f"cache hit {task.method} {task.config.describe()}",
+                    ts=time.perf_counter() - t0,
+                    cat="cache",
+                    args={"method": task.method, "index": i},
+                )
         else:
             pending.append((i, task))
 
+    errors = 0
     if pending:
         if jobs > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 computed = list(pool.map(_run_task, pending))
         else:
             computed = [_run_task(item) for item in pending]
-        for i, outcome in computed:
+        tasks_by_index = dict(pending)
+        for i, outcome, seconds in computed:
             outcomes[i] = outcome
+            if not outcome.ok:
+                errors += 1
             if cache is not None:
                 cache.put(tasks[i], outcome)
+            if observing:
+                task = tasks_by_index[i]
+                now = time.perf_counter() - t0
+                sink.span(
+                    f"{task.method} {task.config.describe()}",
+                    ts=max(0.0, now - seconds),
+                    dur=seconds,
+                    cat="eval",
+                    args={
+                        "method": task.method,
+                        "index": i,
+                        "ok": outcome.ok,
+                        "error": outcome.error,
+                    },
+                )
+    if observing:
+        end = time.perf_counter() - t0
+        sink.counter("cache_hits", float(cache_hits), ts=end)
+        sink.counter("evaluated", float(len(pending)), ts=end)
+        sink.counter("errors", float(errors), ts=end)
     return [outcome for outcome in outcomes if outcome is not None]
 
 
@@ -250,6 +297,7 @@ class PlannerSettings:
         default_factory=lambda: int(os.environ.get("REPRO_JOBS", "1"))
     )
     cache: SweepCache | None = None
+    sink: EventSink = field(default_factory=lambda: NULL_SINK)
 
     def shared_cache(self) -> SweepCache | None:
         if self.cache is None:

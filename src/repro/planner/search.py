@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
+from repro.obs.events import NULL_SINK, EventSink
 from repro.parallel.grid import enumerate_configs
 from repro.parallel.strategies import ParallelConfig
 from repro.planner.evaluate import EvalResult
@@ -66,6 +67,7 @@ def search_method(
     min_dp: int = 2,
     jobs: int = 1,
     cache: SweepCache | None = None,
+    sink: EventSink = NULL_SINK,
 ) -> SearchResult:
     """Find the fastest non-OOM configuration of ``method``.
 
@@ -78,6 +80,11 @@ def search_method(
     replays previously computed cells from disk.  Neither affects the
     returned result — best, trail, and skip reasons are identical for
     every ``jobs`` value and cache state.
+
+    An enabled ``sink`` observes the sweep: per-config ``eval`` spans
+    and cache-hit instants from :func:`~repro.planner.parallel
+    .evaluate_tasks`, plus one ``skip`` instant per statically pruned
+    candidate and a final ``skipped`` counter.
     """
     traits = method_traits(method)
     candidates = enumerate_configs(
@@ -110,14 +117,24 @@ def search_method(
         tasks.append(
             EvalTask(method, spec, cluster, config, global_batch_size)
         )
+    if sink.enabled:
+        for skip in skipped:
+            sink.instant(
+                f"skip {method} {skip.config.describe()}",
+                ts=0.0,
+                cat="skip",
+                args={"method": method, "reason": skip.reason},
+            )
 
-    outcomes = evaluate_tasks(tasks, jobs=jobs, cache=cache)
+    outcomes = evaluate_tasks(tasks, jobs=jobs, cache=cache, sink=sink)
     for task, outcome in zip(tasks, outcomes):
         if not outcome.ok:
             skipped.append(
                 SkippedConfig(task.config, f"rejected: {outcome.error}")
             )
     best, evaluated = merge_outcomes(outcomes)
+    if sink.enabled:
+        sink.counter("skipped", float(len(skipped)), ts=0.0)
     return SearchResult(
         method=method, best=best, evaluated=evaluated, skipped=skipped
     )

@@ -17,6 +17,8 @@ from repro.data.synthetic import token_batches
 from repro.model.spec import ModelSpec
 from repro.nn.layers import LossHead
 from repro.nn.model import build_model
+from repro.obs.events import NULL_SINK, EventSink
+from repro.obs.sinks import MemorySink, TeeSink
 from repro.schedules.base import OpId, OpKind, PipelineProblem
 
 
@@ -90,17 +92,37 @@ class Profiler:
     repeats: int = 3
     seed: int = 0
 
-    def profile(self) -> ProfiledCost:
-        """Measure every (kind, slice, chunk) class and build the cost."""
+    def profile(self, sink: EventSink = NULL_SINK) -> ProfiledCost:
+        """Measure every (kind, slice, chunk) class and build the cost.
+
+        All timing flows through the telemetry bus: every measured pass
+        is a span (``tid`` = hosting stage, ``cat`` = op kind, args
+        carry ``slice``/``chunk``/``round``/``warmup``), and the
+        :class:`OpProfile` table is aggregated from the span stream.
+        Pass an enabled ``sink`` to watch the profiler live; warmup
+        rounds are emitted too, flagged ``warmup=True``, and excluded
+        from the aggregate.
+        """
+        capture = MemorySink()
+        bus: EventSink = TeeSink(capture, sink) if sink.enabled else capture
+        t0 = time.perf_counter()
+        for round_idx in range(self.warmup + self.repeats):
+            self._run_once(bus, round_idx, warmup=round_idx < self.warmup, t0=t0)
         measurements: dict[tuple[OpKind, int, int], OpProfile] = {}
-        for _round in range(self.warmup + self.repeats):
-            record = _round >= self.warmup
-            self._run_once(measurements if record else None)
+        for event in capture.spans():
+            if event.arg("warmup"):
+                continue
+            sl, c = event.arg("slice"), event.arg("chunk")
+            assert isinstance(sl, int) and isinstance(c, int)
+            key = (OpKind(event.cat), sl, c)
+            profile = measurements.setdefault(key, OpProfile())
+            profile.total_seconds += event.dur
+            profile.samples += 1
         return ProfiledCost(problem=self.problem, measurements=measurements)
 
     # ------------------------------------------------------------------
     def _run_once(
-        self, sink: dict[tuple[OpKind, int, int], OpProfile] | None
+        self, bus: EventSink, round_idx: int, *, warmup: bool, t0: float
     ) -> None:
         spec, problem = self.spec, self.problem
         model = build_model(spec, seed=self.seed)
@@ -111,12 +133,20 @@ class Profiler:
         s = problem.num_slices
         t = spec.seq_length // s
 
-        def note(kind: OpKind, sl: int, c: int, seconds: float) -> None:
-            if sink is None:
-                return
-            profile = sink.setdefault((kind, sl, c), OpProfile())
-            profile.total_seconds += seconds
-            profile.samples += 1
+        def note(kind: OpKind, sl: int, c: int, start: float, end: float) -> None:
+            bus.span(
+                f"{kind.value}?.{sl} c{c}",
+                ts=start - t0,
+                dur=end - start,
+                tid=problem.stage_of_chunk(c),
+                cat=kind.value,
+                args={
+                    "slice": sl,
+                    "chunk": c,
+                    "round": round_idx,
+                    "warmup": warmup,
+                },
+            )
 
         # Forward, slice-major (the dependency-legal order).
         outputs: dict[tuple[int, int], object] = {}
@@ -128,7 +158,7 @@ class Profiler:
                     if isinstance(comp, LossHead):
                         comp.set_targets(0, sl, targets[0, :, sl * t : (sl + 1) * t])
                     x = comp.forward(0, sl, x)
-                note(OpKind.F, sl, c, time.perf_counter() - start)
+                note(OpKind.F, sl, c, start, time.perf_counter())
             outputs[(sl, problem.num_chunks - 1)] = x
 
         # Backward (reverse slice order), timing dgrad and wgrad apart.
@@ -141,13 +171,13 @@ class Profiler:
                 for comp in reversed(chunks[c]):
                     dy = comp.backward(0, sl, dy)
                     tasks.extend(comp.pop_wgrad_tasks(0, sl))
-                note(OpKind.B, sl, c, time.perf_counter() - start)
+                note(OpKind.B, sl, c, start, time.perf_counter())
                 wgrad_tasks[(sl, c)] = tasks
         for (sl, c), tasks in wgrad_tasks.items():
             start = time.perf_counter()
             for task in tasks:
                 task()
-            note(OpKind.W, sl, c, time.perf_counter() - start)
+            note(OpKind.W, sl, c, start, time.perf_counter())
 
 
 def profile_and_schedule(

@@ -391,6 +391,15 @@ class ClusterCost:
     # ------------------------------------------------------------------
     # Iteration-level extras
     # ------------------------------------------------------------------
+    def boundary_message_bytes(self) -> float:
+        """Payload of one cross-stage boundary tensor (one micro-batch slice)."""
+        return float(
+            HALF
+            * self.config.micro_batch_size
+            * self.tokens_per_op
+            * self.spec.hidden_size
+        )
+
     def activation_bytes_per_unit(self) -> float:
         """Bytes of one ``A`` unit on this worker.
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
+from repro.obs.events import NULL_SINK, EventSink
+from repro.obs.metrics import CommLog, IterationMetrics, schedule_comm_log
 from repro.schedules.base import (
     OpId,
     OpKind,
@@ -76,6 +78,15 @@ class SimResult:
     stage_record_lists: list[list[OpRecord]] | None = field(
         default=None, repr=False
     )
+    #: Bytes of one ledger unit of A on this worker, stamped by
+    #: :func:`simulate` when the cost model knows it
+    #: (``activation_bytes_per_unit()``); 0 keeps byte metrics at zero.
+    activation_bytes_per_unit: float = 0.0
+    #: Bytes of one cross-stage boundary message, stamped by
+    #: :func:`simulate` when the cost model knows it
+    #: (``boundary_message_bytes()``).
+    comm_bytes_per_message: float = 0.0
+    _comm_volume: CommLog | None = field(default=None, repr=False, compare=False)
 
     @property
     def iteration_time(self) -> float:
@@ -117,6 +128,42 @@ class SimResult:
             self.stage_record_lists = lists
         return lists[stage]
 
+    # -- PipelineResult protocol (shared with RunResult) ----------------
+    @property
+    def stage_peak_bytes(self) -> tuple[int, ...]:
+        """Per-stage peak activation bytes (ledger units x bytes/unit)."""
+        bpu = self.activation_bytes_per_unit
+        return tuple(
+            int(round(s.peak_activation_units * bpu)) for s in self.stages
+        )
+
+    @property
+    def peak_live_bytes(self) -> int:
+        """Largest per-stage peak activation footprint, in bytes."""
+        return max(self.stage_peak_bytes, default=0)
+
+    @property
+    def comm_volume(self) -> CommLog:
+        """Cross-stage traffic the schedule incurs (counts are exact;
+        bytes require the cost model to have sized the boundary
+        messages)."""
+        if self._comm_volume is None:
+            self._comm_volume = schedule_comm_log(
+                self.problem, self.comm_bytes_per_message
+            )
+        return self._comm_volume
+
+    def metrics(self) -> IterationMetrics:
+        """The uniform per-iteration summary (see `repro.obs.metrics`)."""
+        from repro.obs.metrics import iteration_metrics
+
+        return iteration_metrics(
+            self,
+            source="sim",
+            time_unit="model",
+            num_stages=self.problem.num_stages,
+        )
+
 
 @dataclass
 class _Ledger:
@@ -155,6 +202,7 @@ def simulate(
     overhead_time: float = 0.0,
     actgrad_factor: float = 1.0,
     engine: str = "event",
+    sink: EventSink = NULL_SINK,
 ) -> SimResult:
     """Replay ``schedule`` under ``cost`` and collect metrics.
 
@@ -168,17 +216,40 @@ def simulate(
 
     ``engine`` selects the replay implementation (see module
     docstring); both produce identical results.
+
+    ``sink`` receives the iteration's telemetry — per-op spans (one
+    track per stage), channel send/recv instants, and bubble/overlap/
+    memory-high-water counters.  The default null sink keeps the replay
+    loop untouched: recording happens post-replay and only when the
+    sink is enabled.
     """
     from repro.schedules.verify import ensure_verified
 
     ensure_verified(schedule, context="simulate")
     if engine == "event":
-        return _simulate_event(schedule, cost, overhead_time, actgrad_factor)
-    if engine == "fixed-point":
-        return _simulate_fixed_point(
+        result = _simulate_event(schedule, cost, overhead_time, actgrad_factor)
+    elif engine == "fixed-point":
+        result = _simulate_fixed_point(
             schedule, cost, overhead_time, actgrad_factor
         )
-    raise ValueError(f"unknown simulation engine {engine!r}")
+    else:
+        raise ValueError(f"unknown simulation engine {engine!r}")
+
+    # Stamp byte conversions when the cost model knows them, so the
+    # result's IterationMetrics carry real bytes instead of zeros.
+    act_bytes = getattr(cost, "activation_bytes_per_unit", None)
+    if callable(act_bytes):
+        result.activation_bytes_per_unit = float(act_bytes())
+    msg_bytes = getattr(cost, "boundary_message_bytes", None)
+    if callable(msg_bytes):
+        result.comm_bytes_per_message = float(msg_bytes())
+
+    if sink.enabled:
+        from repro.obs.record import record_iteration, record_sim_comm
+
+        record_iteration(result, sink)
+        record_sim_comm(result, cost, sink)
+    return result
 
 
 def _simulate_event(

@@ -1,80 +1,41 @@
-"""Chrome-trace (``chrome://tracing`` / Perfetto) export of simulations.
+"""Deprecated Chrome-trace exporter — moved to :mod:`repro.obs.chrome`.
 
-Produces the JSON event format the paper's own timeline figures (11-12)
-were made with, so simulated iterations can be inspected in any trace
-viewer: one row per pipeline stage, one duration event per op, colored
-by op kind.
+The simulator's trace export now rides the unified telemetry bus:
+:func:`repro.obs.chrome.sim_chrome_trace` produces the identical
+dictionary (same rows, events, colors, ``otherData``), and
+:func:`repro.obs.chrome.chrome_trace` renders arbitrary event streams,
+e.g. a simulated and an executed iteration side by side.  This module
+remains as a thin shim; importing it works, calling it warns.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
 
-from repro.schedules.base import OpKind
+from repro.obs.chrome import sim_chrome_trace, write_sim_trace
 from repro.sim.executor import SimResult
 
-#: Perfetto color names per op kind.
-_COLORS = {
-    OpKind.F: "thread_state_running",
-    OpKind.B: "thread_state_iowait",
-    OpKind.W: "thread_state_runnable",
-}
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.viz.trace.{old} is deprecated; use repro.obs.chrome.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def to_chrome_trace(result: SimResult, time_unit_us: float = 1e6) -> dict:
-    """Convert a simulation into a Chrome-trace dictionary.
-
-    Args:
-        result: The simulated iteration.
-        time_unit_us: Microseconds per simulated time unit (1e6 when the
-            cost model is in seconds; pick anything for abstract units).
-    """
-    events: list[dict] = []
-    for stage in range(result.problem.num_stages):
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": stage,
-                "args": {"name": f"stage {stage}"},
-            }
-        )
-        for record in result.stage_records(stage):
-            op = record.op
-            events.append(
-                {
-                    "name": str(op),
-                    "cat": op.kind.value,
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": stage,
-                    "ts": record.start * time_unit_us,
-                    "dur": max(record.duration * time_unit_us, 0.01),
-                    "cname": _COLORS[op.kind],
-                    "args": {
-                        "microbatch": op.microbatch,
-                        "slice": op.slice_idx,
-                        "chunk": op.chunk,
-                    },
-                }
-            )
-    return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {
-            "schedule": result.schedule_name,
-            "bubble_ratio": round(result.bubble_ratio, 6),
-            "peak_activation_units": round(result.peak_activation_units, 6),
-        },
-    }
+    """Deprecated alias of :func:`repro.obs.chrome.sim_chrome_trace`."""
+    _warn("to_chrome_trace", "sim_chrome_trace")
+    return sim_chrome_trace(result, time_unit_us)
 
 
 def write_chrome_trace(
     result: SimResult, path: str | Path, time_unit_us: float = 1e6
 ) -> Path:
-    """Write the trace JSON to ``path`` and return it."""
-    path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(result, time_unit_us)))
-    return path
+    """Deprecated alias of :func:`repro.obs.chrome.write_sim_trace`."""
+    _warn("write_chrome_trace", "write_sim_trace")
+    return write_sim_trace(result, path, time_unit_us)

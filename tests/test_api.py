@@ -1,0 +1,56 @@
+"""The stable ``repro.api`` facade: every blessed name resolves."""
+
+import warnings
+
+from repro import api
+
+
+def test_all_names_resolve():
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    assert not missing
+
+
+def test_all_is_sorted_and_complete():
+    assert list(api.__all__) == sorted(api.__all__)
+    public = {n for n in dir(api) if not n.startswith("_")}
+    # every __all__ name is public; the facade re-exports nothing hidden
+    assert set(api.__all__) <= public
+
+
+def test_facade_names_are_the_canonical_objects():
+    from repro.analysis import analyze_spec
+    from repro.obs import NULL_SINK, MemorySink
+    from repro.pipeline import PipelineRuntime
+    from repro.planner import search_method
+    from repro.schedules import build_problem, build_schedule
+    from repro.schedules.verify import verify_schedule
+    from repro.sim import simulate
+
+    assert api.build_problem is build_problem
+    assert api.build_schedule is build_schedule
+    assert api.simulate is simulate
+    assert api.PipelineRuntime is PipelineRuntime
+    assert api.verify is verify_schedule
+    assert api.check_model is analyze_spec
+    assert api.plan is search_method
+    assert api.MemorySink is MemorySink
+    assert api.NULL_SINK is NULL_SINK
+
+
+def test_end_to_end_through_facade():
+    problem = api.build_problem("mepipe", 2, 4, num_slices=2, wgrad_gemms=3)
+    schedule = api.build_schedule("mepipe", problem)
+    assert api.verify(schedule).ok
+    sink = api.MemorySink()
+    result = api.simulate(schedule, api.UniformCost(problem), sink=sink)
+    assert isinstance(result, api.PipelineResult)
+    assert isinstance(result.metrics(), api.IterationMetrics)
+    assert len(sink.events) > 0
+
+
+def test_facade_import_emits_no_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        import importlib
+
+        importlib.reload(api)
