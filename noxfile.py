@@ -7,13 +7,14 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     mypy src/repro/schedules src/repro/nn
     mypy --strict src/repro/analysis
     mypy --strict src/repro/obs
+    mypy --strict src/repro/pipeline
     PYTHONPATH=src python -m pytest -x -q
     python -m repro check-model grid
 """
 
 import nox
 
-nox.options.sessions = ["lint", "analysis", "obs", "tests"]
+nox.options.sessions = ["lint", "analysis", "obs", "pipeline", "tests"]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
 LINT_TARGETS = ("src", "tests")
@@ -56,6 +57,22 @@ def obs(session: nox.Session) -> None:
     session.run(
         "python", "-m", "pytest", "-x", "-q",
         "tests/test_obs.py", "tests/test_api.py",
+    )
+
+
+@nox.session
+def pipeline(session: nox.Session) -> None:
+    """The parallel-executor gate: strict typing plus a spawn smoke run.
+
+    The multi-process runtime is where process lifecycles, shared
+    memory, and timeouts live; its tests prove bit-exactness against
+    the serial golden runtime, measured comm/wgrad overlap, and clean
+    failure (no orphan workers, no leaked segments).
+    """
+    session.install("-e", ".[test,lint]")
+    session.run("mypy", "--strict", "src/repro/pipeline")
+    session.run(
+        "python", "-m", "pytest", "-x", "-q", "tests/test_parallel_runtime.py"
     )
 
 

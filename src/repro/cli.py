@@ -182,9 +182,19 @@ def _tiny_spec_for(problem: "PipelineProblem") -> "ModelSpec":
 
 
 def _run_both_substrates(
-    args: argparse.Namespace, schedule: "Schedule", *, seed: int = 11
+    args: argparse.Namespace,
+    schedule: "Schedule",
+    *,
+    seed: int = 11,
+    executor: str = "serial",
 ) -> "tuple[SimResult, RunResult]":
     """One iteration of ``schedule`` on the simulator and the runtime.
+
+    ``executor`` selects the numerical substrate: ``"serial"`` for the
+    single-process golden :class:`~repro.pipeline.PipelineRuntime`,
+    ``"parallel"`` for the multi-process
+    :class:`~repro.pipeline.ParallelPipelineRuntime` (one worker per
+    stage; identical numerics, measured wall-clock overlap).
 
     The simulated result is stamped with the byte sizes of the
     runtime's actual float64 tensors, so the two substrates report the
@@ -194,7 +204,7 @@ def _run_both_substrates(
     from repro.data import token_batches
     from repro.model.memory import sample_activation_bytes
     from repro.nn import build_model
-    from repro.pipeline import PipelineRuntime
+    from repro.pipeline import ParallelPipelineRuntime, PipelineRuntime
     from repro.sim import UniformCost, simulate
 
     problem = schedule.problem
@@ -214,7 +224,10 @@ def _run_both_substrates(
         seed=5,
     )
     model = build_model(spec, seed=seed)
-    run_result = PipelineRuntime(model, tokens, targets).run(schedule)
+    if executor == "parallel":
+        run_result = ParallelPipelineRuntime(model, tokens, targets).run(schedule)
+    else:
+        run_result = PipelineRuntime(model, tokens, targets).run(schedule)
     return sim_result, run_result
 
 
@@ -343,7 +356,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if schedule is None:
         assert status is not None
         return status
-    sim_result, run_result = _run_both_substrates(args, schedule)
+    executor = "parallel" if args.substrate == "parallel" else "serial"
+    sim_result, run_result = _run_both_substrates(args, schedule, executor=executor)
     sink = ChromeTraceSink(
         args.out,
         other_data={
@@ -353,10 +367,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         },
     )
     with sink:
-        if args.substrate in ("both", "sim"):
+        if args.substrate in ("both", "sim", "parallel"):
             record_iteration(sim_result, sink, pid=0, process="simulated")
         if args.substrate in ("both", "runtime"):
             record_iteration(run_result, sink, pid=1, process="executed")
+        if args.substrate == "parallel":
+            # The measured multi-process iteration renders alongside the
+            # simulated one — same viewer schema, its own process group.
+            record_iteration(run_result, sink, pid=2, process="parallel")
     print(f"chrome trace written to {args.out} (open in ui.perfetto.dev)")
     return 0
 
@@ -434,7 +452,8 @@ def _configure_trace(parser: argparse.ArgumentParser) -> None:
                         help="weight-gradient time (split methods)")
     parser.add_argument("--out", metavar="FILE", default="trace.json",
                         help="output trace path")
-    parser.add_argument("--substrate", choices=("both", "sim", "runtime"),
+    parser.add_argument("--substrate",
+                        choices=("both", "sim", "runtime", "parallel"),
                         default="both",
                         help="which substrate(s) to record")
 

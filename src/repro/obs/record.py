@@ -159,6 +159,17 @@ def _record_counters(result: Any, sink: EventSink, pid: int) -> None:
             sink.counter(
                 "busy_seconds", stat.busy_seconds, ts=wall, tid=s, pid=pid
             )
+            if getattr(result, "executor", "serial") == "parallel":
+                # Only a multi-process execution measures these: time the
+                # worker spent blocked on channel receives, and W-op
+                # compute performed while such a receive was pending.
+                sink.counter(
+                    "wait_seconds", stat.wait_seconds, ts=wall, tid=s, pid=pid
+                )
+                sink.counter(
+                    "overlap_w_seconds", stat.overlap_w_seconds,
+                    ts=wall, tid=s, pid=pid,
+                )
     comms = getattr(result, "comm_volume", None)
     if comms is not None:
         end_ts = getattr(result, "makespan", None)

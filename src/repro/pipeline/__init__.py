@@ -1,5 +1,23 @@
-"""Numerical pipeline runtime executing schedules on the NumPy model."""
+"""Numerical pipeline runtimes executing schedules on the NumPy model.
 
+Two executors share one op semantics (:mod:`repro.pipeline.stage`):
+
+* :class:`PipelineRuntime` — single-process golden reference.
+* :class:`ParallelPipelineRuntime` — one worker process per stage,
+  shared-memory channels, measured comm/wgrad overlap; bit-for-bit
+  equal gradients and loss.
+"""
+
+from repro.pipeline.parallel_runtime import FaultSpec, ParallelPipelineRuntime
 from repro.pipeline.runtime import CommLog, PipelineRuntime, RunResult, StageStats
+from repro.pipeline.stage import StageExecutor
 
-__all__ = ["CommLog", "PipelineRuntime", "RunResult", "StageStats"]
+__all__ = [
+    "CommLog",
+    "FaultSpec",
+    "ParallelPipelineRuntime",
+    "PipelineRuntime",
+    "RunResult",
+    "StageExecutor",
+    "StageStats",
+]

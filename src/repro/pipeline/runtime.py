@@ -1,11 +1,14 @@
 """Execute a pipeline schedule numerically on a partitioned model.
 
-This is the functional-correctness substrate (artifact experiment E0):
-the model's components are partitioned into ``v * p`` chunks, each
-pipeline stage executes its ordered op program, and tensors flow through
-explicit channels.  Any valid schedule — DAPPLE, TeraPipe, VPP, SVPP,
-MEPipe with deferred weight-gradient GEMMs — must produce gradients
-identical to sequential execution; the test suite asserts exactly that.
+This is the functional-correctness substrate (artifact experiment E0)
+and the repository's **golden reference**: the model's components are
+partitioned into ``v * p`` chunks, each pipeline stage executes its
+ordered op program, and tensors flow through explicit channels.  Any
+valid schedule — DAPPLE, TeraPipe, VPP, SVPP, MEPipe with deferred
+weight-gradient GEMMs — must produce gradients identical to sequential
+execution; the test suite asserts exactly that, and the multi-process
+:class:`~repro.pipeline.parallel_runtime.ParallelPipelineRuntime` is
+in turn held bit-for-bit to this runtime.
 
 Every op is wall-clock timed (relative to iteration start), so a
 :class:`RunResult` satisfies the same :class:`~repro.obs.metrics
@@ -13,20 +16,24 @@ Every op is wall-clock timed (relative to iteration start), so a
 telemetry bus (``repro.obs``): pass a sink to :meth:`PipelineRuntime
 .run` and the executed iteration renders row-for-row next to its
 simulated counterpart in a trace viewer.
+
+The per-op numerical semantics live in :class:`~repro.pipeline.stage
+.StageExecutor`, shared with the parallel runtime; this module only
+supplies the single-process scheduling loop and in-process mailboxes.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
 
-from repro.nn.layers import Component, LossHead
 from repro.nn.model import TransformerModel
 from repro.obs.events import NULL_SINK, EventSink
 from repro.obs.metrics import CommLog
+from repro.pipeline.stage import StageExecutor
 from repro.schedules.base import OpId, OpKind, PipelineProblem, Schedule, ScheduleError
 from repro.sim.executor import OpRecord
 
@@ -40,12 +47,19 @@ __all__ = [
     "StageStats",
 ]
 
-Array = np.ndarray
+Array = np.ndarray[Any, np.dtype[Any]]
 
 
 @dataclass
 class StageStats:
-    """Execution statistics of one pipeline stage."""
+    """Execution statistics of one pipeline stage.
+
+    ``wait_seconds`` and ``overlap_w_seconds`` are measured only by the
+    parallel runtime (a single-process execution never blocks on a
+    channel): the former is time spent blocked on a channel receive,
+    the latter is W-op compute performed *while* such a receive was
+    pending — the paper's comm/wgrad overlap, as a wall-clock quantity.
+    """
 
     stage: int
     ops_executed: int = 0
@@ -53,6 +67,8 @@ class StageStats:
     peak_live_bytes: int = 0
     wgrad_tasks_run: int = 0
     busy_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    overlap_w_seconds: float = 0.0
 
 
 @dataclass
@@ -62,7 +78,9 @@ class RunResult:
     Satisfies the :class:`~repro.obs.metrics.PipelineResult` protocol:
     ``bubble_ratio`` / ``stage_peak_bytes`` / ``comm_volume`` /
     ``stage_records`` / ``metrics()`` mirror the simulator's accessors,
-    with wall-clock seconds as the time base.
+    with wall-clock seconds as the time base.  ``executor`` records
+    which runtime produced the result (``"serial"`` or ``"parallel"``)
+    — the interpretation of :attr:`bubble_ratio` depends on it.
     """
 
     loss: float
@@ -73,6 +91,7 @@ class RunResult:
     problem: PipelineProblem | None = None
     wall_seconds: float = 0.0
     stage_record_lists: list[list[OpRecord]] = field(default_factory=list)
+    executor: str = "serial"
 
     @property
     def peak_live_contexts(self) -> int:
@@ -83,6 +102,16 @@ class RunResult:
     def peak_live_bytes(self) -> int:
         """Largest live activation footprint on any stage, in bytes."""
         return max(s.peak_live_bytes for s in self.stage_stats)
+
+    @property
+    def overlap_w_seconds(self) -> float:
+        """Total W-op compute performed while a channel recv was pending.
+
+        Nonzero only for parallel executions: it is the measured
+        comm/wgrad overlap MEPipe's deferred weight-gradient GEMMs
+        exist to create (Section 5).
+        """
+        return sum(s.overlap_w_seconds for s in self.stage_stats)
 
     # -- PipelineResult protocol ---------------------------------------
     @property
@@ -99,10 +128,16 @@ class RunResult:
     def bubble_ratio(self) -> float:
         """Wall-clock idle fraction ``1 - busy / (p * wall)``.
 
-        The runtime executes all stages in one process, so stage "idle"
-        here includes time spent running other stages' ops — useful for
-        comparing schedules against each other on this substrate, not
-        as an absolute device-utilization figure.
+        For a **parallel** result (``executor == "parallel"``) every
+        stage is its own process, so this is a true measured
+        device-idle fraction: per-stage idle is real wall-clock time
+        the worker spent blocked on channels (``StageStats
+        .wait_seconds``) or out of work.
+
+        For a **serial** result the runtime executes all stages in one
+        process, so stage "idle" includes time spent running other
+        stages' ops — useful for comparing schedules against each other
+        on this substrate, not as an absolute utilization figure.
         """
         if self.wall_seconds <= 0.0:
             return 0.0
@@ -127,12 +162,32 @@ class RunResult:
         )
 
 
-@dataclass
-class _Channels:
-    """Tensor mailboxes between chunks."""
+class _RuntimeLike(Protocol):
+    """What :func:`_preflight` needs from either runtime."""
 
-    forward: dict[tuple[int, int, int], Array] = field(default_factory=dict)
-    backward: dict[tuple[int, int, int], Array] = field(default_factory=dict)
+    model: TransformerModel
+    num_microbatches: int
+    seq_length: int
+
+
+def _preflight(
+    runtime: _RuntimeLike, schedule: Schedule, context: str
+) -> PipelineProblem:
+    """Shared entry checks of both runtimes: static verification plus
+    data/problem shape agreement."""
+    from repro.analysis import ensure_model_verified
+    from repro.schedules.verify import ensure_verified
+
+    ensure_verified(schedule, context=context)
+    ensure_model_verified(runtime.model, schedule, context=context)
+    problem = schedule.problem
+    if problem.num_microbatches != runtime.num_microbatches:
+        raise ScheduleError(
+            f"schedule expects {problem.num_microbatches} micro-batches, "
+            f"data has {runtime.num_microbatches}")
+    if runtime.seq_length % problem.num_slices != 0:
+        raise ScheduleError("sequence not divisible into slices")
+    return problem
 
 
 class PipelineRuntime:
@@ -150,8 +205,8 @@ class PipelineRuntime:
         self.tokens = tokens
         self.targets = targets
         n, batch, seqlen = tokens.shape
-        self.num_microbatches = n
-        self.seq_length = seqlen
+        self.num_microbatches = int(n)
+        self.seq_length = int(seqlen)
         model.head.loss_scale = 1.0 / (n * batch * seqlen)
 
     # ------------------------------------------------------------------
@@ -166,29 +221,26 @@ class PipelineRuntime:
         emitted after execution via :func:`repro.obs.record
         .record_iteration`.
         """
-        from repro.analysis import ensure_model_verified
-        from repro.schedules.verify import ensure_verified
-
-        ensure_verified(schedule, context="pipeline runtime")
-        ensure_model_verified(self.model, schedule, context="pipeline runtime")
-        problem = schedule.problem
-        if problem.num_microbatches != self.num_microbatches:
-            raise ScheduleError(
-                f"schedule expects {problem.num_microbatches} micro-batches, "
-                f"data has {self.num_microbatches}")
-        if self.seq_length % problem.num_slices != 0:
-            raise ScheduleError("sequence not divisible into slices")
+        problem = _preflight(self, schedule, "pipeline runtime")
 
         chunks = self.model.partition(problem.num_chunks)
-        stage_components = [
-            [comp for c in problem.chunks_of_stage(s) for comp in chunks[c]]
+        stats = [StageStats(stage=s) for s in range(problem.num_stages)]
+        executors = [
+            StageExecutor(
+                s,
+                problem,
+                {c: chunks[c] for c in problem.chunks_of_stage(s)},
+                self.tokens,
+                self.targets,
+                stats[s],
+            )
             for s in range(problem.num_stages)
         ]
         programs = [schedule.stage_ops(s) for s in range(problem.num_stages)]
-        channels = _Channels()
-        stats = [StageStats(stage=s) for s in range(problem.num_stages)]
         records: list[list[OpRecord]] = [[] for _ in range(problem.num_stages)]
-        wgrad_groups: dict[tuple[int, int, int], list[list]] = {}
+        # In-process mailboxes: (mb, sl, chunk) -> boundary tensor.
+        forward: dict[tuple[int, int, int], Array] = {}
+        backward: dict[tuple[int, int, int], Array] = {}
         comms = CommLog()
         loss = 0.0
 
@@ -204,15 +256,27 @@ class PipelineRuntime:
             progressed = False
             for stage in range(problem.num_stages):
                 program = programs[stage]
+                executor = executors[stage]
                 while heads[stage] < len(program):
                     op = program[heads[stage]]
                     if any(d not in done for d in problem.deps(op)):
                         break
+                    mb, sl, c = op.microbatch, op.slice_idx, op.chunk
+                    payload: Array | None = None
+                    if op.kind is OpKind.F and c > 0:
+                        payload = forward.pop((mb, sl, c - 1))
+                    elif op.kind is OpKind.B and c < problem.num_chunks - 1:
+                        payload = backward.pop((mb, sl, c + 1))
                     op_start = time.perf_counter() - t0
-                    loss += self._execute(
-                        op, problem, chunks, channels, wgrad_groups,
-                        stats[stage], stage_components[stage], comms)
+                    outcome = executor.execute(op, payload)
                     op_end = time.perf_counter() - t0
+                    loss += outcome.loss
+                    if outcome.payload is not None:
+                        mailbox = forward if op.kind is OpKind.F else backward
+                        mailbox[(mb, sl, c)] = outcome.payload
+                        dst = problem.stage_of_chunk(outcome.dst_chunk)
+                        if dst != stage:
+                            comms.note(stage, dst, outcome.payload.nbytes)
                     stats[stage].busy_seconds += op_end - op_start
                     records[stage].append(
                         OpRecord(op=op, stage=stage, start=op_start, end=op_end)
@@ -224,10 +288,10 @@ class PipelineRuntime:
                 raise ScheduleError("pipeline runtime deadlock")
         wall = time.perf_counter() - t0
 
-        if channels.forward or channels.backward:
+        if forward or backward:
             raise ScheduleError("unconsumed channel tensors at iteration end")
-        if wgrad_groups and any(any(g) for g in wgrad_groups.values()):
-            raise ScheduleError("unexecuted weight-gradient tasks remain")
+        for executor in executors:
+            executor.assert_drained()
         result = RunResult(
             loss=loss,
             stage_stats=stats,
@@ -237,78 +301,10 @@ class PipelineRuntime:
             problem=problem,
             wall_seconds=wall,
             stage_record_lists=records,
+            executor="serial",
         )
         if sink.enabled:
             from repro.obs.record import record_iteration
 
             record_iteration(result, sink)
         return result
-
-    # ------------------------------------------------------------------
-    def _slice_tokens(self, source: Array, mb: int, sl: int, s: int) -> Array:
-        t = self.seq_length // s
-        return source[mb, :, sl * t : (sl + 1) * t]
-
-    def _execute(
-        self, op, problem, chunks, channels, wgrad_groups, stat,
-        stage_components, comms,
-    ) -> float:
-        mb, sl, c = op.microbatch, op.slice_idx, op.chunk
-        components: list[Component] = chunks[c]
-        loss_out = 0.0
-        if op.kind is OpKind.F:
-            if c == 0:
-                x: object = self._slice_tokens(self.tokens, mb, sl,
-                                               problem.num_slices)
-            else:
-                x = channels.forward.pop((mb, sl, c - 1))
-            for comp in components:
-                if isinstance(comp, LossHead):
-                    comp.set_targets(
-                        mb, sl,
-                        self._slice_tokens(self.targets, mb, sl,
-                                           problem.num_slices))
-                x = comp.forward(mb, sl, x)
-            if c == problem.num_chunks - 1:
-                loss_out = float(x)  # LossHead output
-            else:
-                channels.forward[(mb, sl, c)] = x
-                src, dst = problem.stage_of_chunk(c), problem.stage_of_chunk(c + 1)
-                if src != dst:
-                    comms.note(src, dst, x.nbytes)
-        elif op.kind is OpKind.B:
-            if c == problem.num_chunks - 1:
-                dy: object = None
-            else:
-                dy = channels.backward.pop((mb, sl, c + 1))
-            tasks = []
-            for comp in reversed(components):
-                dy = comp.backward(mb, sl, dy)
-                tasks.extend(comp.pop_wgrad_tasks(mb, sl))
-            if dy is not None and c > 0:
-                channels.backward[(mb, sl, c)] = dy
-                src, dst = problem.stage_of_chunk(c), problem.stage_of_chunk(c - 1)
-                if src != dst:
-                    comms.note(src, dst, dy.nbytes)
-            if problem.split_backward:
-                g = problem.wgrad_gemms
-                groups = [tasks[i::g] for i in range(g)]
-                wgrad_groups[(mb, sl, c)] = groups
-            else:
-                for task in tasks:
-                    task()
-                stat.wgrad_tasks_run += len(tasks)
-        else:
-            groups = wgrad_groups[(mb, sl, c)]
-            tasks = groups[op.gemm]
-            groups[op.gemm] = []
-            for task in tasks:
-                task()
-            stat.wgrad_tasks_run += len(tasks)
-
-        stat.ops_executed += 1
-        live = sum(comp.live_contexts for comp in stage_components)
-        stat.peak_live_contexts = max(stat.peak_live_contexts, live)
-        live_bytes = sum(comp.live_bytes() for comp in stage_components)
-        stat.peak_live_bytes = max(stat.peak_live_bytes, live_bytes)
-        return loss_out

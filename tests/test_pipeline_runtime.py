@@ -135,3 +135,29 @@ class TestTrainingLoop:
             losses.append(runtime.run(schedule).loss)
             optimizer.step()
         assert losses[-1] < losses[0]
+
+
+class TestIncrementalAccounting:
+    def test_incremental_live_stats_match_full_scan(self, reference,
+                                                    monkeypatch):
+        """The O(1)-per-op delta accounting never drifts from a full
+        re-sum of live_bytes()/live_contexts over every component."""
+        import repro.pipeline.runtime as runtime_mod
+        from repro.pipeline.stage import StageExecutor
+
+        checked = {"ops": 0}
+
+        class AuditingExecutor(StageExecutor):
+            def execute(self, op, payload=None):
+                outcome = super().execute(op, payload)
+                assert (self._live_contexts, self._live_bytes) == \
+                    self.full_live_scan(), f"drift after {op}"
+                checked["ops"] += 1
+                return outcome
+
+        monkeypatch.setattr(runtime_mod, "StageExecutor", AuditingExecutor)
+        tokens, targets, _unused, _unused2 = reference
+        for method, kwargs in (("mepipe", {"num_slices": 4, "wgrad_gemms": 3}),
+                               ("vpp", {"virtual_size": 2})):
+            run_method(method, tokens, targets, **kwargs)
+        assert checked["ops"] > 0
