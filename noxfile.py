@@ -6,6 +6,7 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     ruff format --check src tests
     mypy src/repro/schedules src/repro/nn
     mypy --strict src/repro/analysis
+    mypy --strict src/repro/analysis/evaluate
     mypy --strict src/repro/obs
     mypy --strict src/repro/pipeline
     PYTHONPATH=src python -m pytest -x -q
@@ -14,7 +15,7 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
 
 import nox
 
-nox.options.sessions = ["lint", "analysis", "obs", "pipeline", "tests"]
+nox.options.sessions = ["lint", "analysis", "evaluate", "obs", "pipeline", "tests"]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
 LINT_TARGETS = ("src", "tests")
@@ -41,6 +42,25 @@ def analysis(session: nox.Session) -> None:
     session.install("-e", ".[lint]")
     session.run("mypy", "--strict", "src/repro/analysis")
     session.run("python", "-m", "repro", "check-model", "grid")
+
+
+@nox.session
+def evaluate(session: nox.Session) -> None:
+    """The analytic-evaluator gate: strict typing plus its proof suite.
+
+    The evaluator's claim is bit-for-bit agreement with the event
+    simulator; the gate runs the engine golden tests (all three sim
+    engines), the evaluator's exactness/bounds/tiering suite, and the
+    seeded EV-rule mutation tests.
+    """
+    session.install("-e", ".[test,lint]")
+    session.run("mypy", "--strict", "src/repro/analysis/evaluate")
+    session.run(
+        "python", "-m", "pytest", "-x", "-q",
+        "tests/test_engine_golden.py",
+        "tests/test_evaluate.py",
+        "tests/test_evaluate_mutations.py",
+    )
 
 
 @nox.session

@@ -6,6 +6,10 @@ coverage of the deferred weight-gradient queues (GC rules), and
 happens-before hazard freedom (HZ rules).  See ``docs/analysis.md`` for
 the pass and rule catalogue, and ``python -m repro check-model`` for
 the CLI.
+
+The :mod:`repro.analysis.evaluate` subpackage extends the tier with the
+analytic schedule evaluator: certified closed-form timing/memory (EV
+rules, ``python -m repro evaluate``, ``docs/evaluation.md``).
 """
 
 from repro.analysis.core import (
@@ -18,6 +22,15 @@ from repro.analysis.core import (
     model_program,
 )
 from repro.analysis.coverage import check_coverage
+from repro.analysis.evaluate import (
+    EVALUATE_RULES,
+    AnalyticEvaluation,
+    EvalCertificate,
+    TimeBounds,
+    evaluate_schedule,
+    iteration_time_bounds,
+    peak_units_floor,
+)
 from repro.analysis.extract import (
     component_spec,
     partition_from_model,
@@ -42,17 +55,21 @@ from repro.analysis.shapes import check_shapes
 
 __all__ = [
     "COVERAGE_RULES",
+    "EVALUATE_RULES",
     "HAZARD_RULES",
     "MODEL_RULES",
     "SHAPE_RULES",
+    "AnalyticEvaluation",
     "ChunkSpec",
     "ComponentSpec",
+    "EvalCertificate",
     "ModelAnalysisError",
     "ModelProgram",
     "PartitionSpec",
     "StageMemory",
     "SymTensor",
     "TaskRef",
+    "TimeBounds",
     "analyze_model",
     "analyze_partition",
     "analyze_spec",
@@ -62,9 +79,12 @@ __all__ = [
     "check_shapes",
     "component_spec",
     "ensure_model_verified",
+    "evaluate_schedule",
     "infer_stage_memory",
     "interface_report",
+    "iteration_time_bounds",
     "model_program",
     "partition_from_model",
     "partition_from_spec",
+    "peak_units_floor",
 ]

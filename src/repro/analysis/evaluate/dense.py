@@ -1,0 +1,270 @@
+"""Vectorized max-plus evaluation of a compiled schedule graph.
+
+The simulator's replay recurrence
+
+``start[i] = max(end[i-1] if pos[i] > 0 else 0,
+maxₑ end[pred[e]] + comm[e])``, ``end[i] = start[i] + duration[i]``
+
+is a longest-path computation in the max-plus semiring over the op DAG.
+IEEE-754 ``max`` is exact and order-independent, and every add uses the
+identical float operands, so *any* topological evaluation order yields
+bit-identical start/end arrays — this is the exactness theorem behind
+the analytic evaluator's certificates and behind the simulator's
+vectorized ``"event"`` engine, both of which consume the times computed
+here.
+
+Two optimizations keep this path an order of magnitude cheaper than
+the event-driven replay without touching a single float:
+
+* **Key-table cost probing** — when the cost model declares
+  ``microbatch_invariant`` (the same contract
+  :func:`~repro.sim.cost.op_cost_fns` memoizes on), every op cost is a
+  pure function of ``(kind, slice, chunk, gemm)``.  The tables are
+  probed once per distinct key (a few dozen calls) and broadcast to all
+  ops/edges with NumPy gathers, instead of one Python-level cost call
+  per op and per edge.
+* **Plan caching** — the topological evaluation order and dependency
+  height depend only on the graph, not the cost model, so they are
+  computed once (Kahn) and cached on the compiled graph; replaying the
+  recurrence for a cost model is then a single pass over flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.schedules.base import ScheduleError
+from repro.schedules.graph import ScheduleGraph
+from repro.sim.cost import CostModel, op_cost_fns
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+
+
+@dataclass(frozen=True)
+class DenseTimes:
+    """Start/end times of every op, plus the cost tables that made them.
+
+    All arrays are indexed by the graph's dense op index; ``comm`` is
+    indexed like the graph's ``pred`` edge array.  ``levels`` is the
+    dependency height of the schedule (the number of Kahn wavefronts).
+    """
+
+    start: FloatArray
+    end: FloatArray
+    duration: FloatArray
+    act_units: FloatArray
+    comm: FloatArray
+    levels: int
+
+    @property
+    def num_ops(self) -> int:
+        return int(self.start.shape[0])
+
+
+def op_cost_arrays(
+    graph: ScheduleGraph, cost: CostModel
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """``(duration, act_units, comm)`` flat cost tables for ``graph``.
+
+    Micro-batch-invariant cost models are probed once per distinct
+    ``(kind, slice, chunk, gemm)`` key — exactly the key the event
+    engine's :func:`op_cost_fns` memo collapses to, so two ops sharing
+    a key receive the identical float either way and the tables are
+    bit-for-bit the simulator's.  Non-invariant models fall back to one
+    probe per op and per edge.
+    """
+    ops = graph.ops
+    num_ops = graph.num_ops
+    if not getattr(cost, "microbatch_invariant", False):
+        dur_fn, comm_fn, act_fn = op_cost_fns(cost)
+        duration = np.fromiter(
+            (dur_fn(op) for op in ops), dtype=np.float64, count=num_ops
+        )
+        act_units = np.fromiter(
+            (act_fn(op) for op in ops), dtype=np.float64, count=num_ops
+        )
+        pred_indptr, pred = graph.pred_indptr, graph.pred
+        comm = np.empty(len(pred), dtype=np.float64)
+        for i in range(num_ops):
+            op = ops[i]
+            for e in range(pred_indptr[i], pred_indptr[i + 1]):
+                comm[e] = comm_fn(ops[pred[e]], op)
+        return duration, act_units, comm
+
+    problem = graph.problem
+    chunks = problem.num_chunks
+    s = problem.num_slices
+    gemms = problem.wgrad_gemms
+    if num_ops == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return empty, empty.copy(), np.zeros(len(graph.pred), dtype=np.float64)
+
+    kind = np.asarray(graph.kind, dtype=np.int64)
+    cell = np.asarray(graph.cell, dtype=np.int64)
+    gemm = np.asarray(graph.gemm, dtype=np.int64)  # -1 for F/B ops
+    sl = (cell // chunks) % s
+    c = cell % chunks
+    # Dense memo key: (kind, slice, chunk, gemm), gemm shifted to >= 0.
+    code = ((kind * s + sl) * chunks + c) * (gemms + 1) + (gemm + 1)
+    uniq, inverse = np.unique(code, return_inverse=True)
+    rep = np.empty(uniq.shape[0], dtype=np.int64)
+    rep[inverse] = np.arange(num_ops, dtype=np.int64)
+    dur_table = np.fromiter(
+        (cost.duration(ops[i]) for i in rep),
+        dtype=np.float64,
+        count=uniq.shape[0],
+    )
+    act_table = np.fromiter(
+        (cost.act_units(ops[i]) for i in rep),
+        dtype=np.float64,
+        count=uniq.shape[0],
+    )
+    duration = dur_table[inverse]
+    act_units = act_table[inverse]
+
+    pred = np.asarray(graph.pred, dtype=np.int64)
+    pred_indptr = np.asarray(graph.pred_indptr, dtype=np.int64)
+    if pred.shape[0] == 0:
+        return duration, act_units, np.zeros(0, dtype=np.float64)
+    edge_op = np.repeat(
+        np.arange(num_ops, dtype=np.int64), np.diff(pred_indptr)
+    )
+    span = np.int64(int(code.max()) + 1)
+    ecode = code[pred] * span + code[edge_op]
+    euniq, einverse = np.unique(ecode, return_inverse=True)
+    erep = np.empty(euniq.shape[0], dtype=np.int64)
+    erep[einverse] = np.arange(ecode.shape[0], dtype=np.int64)
+    comm_table = np.fromiter(
+        (cost.comm_time(ops[pred[e]], ops[edge_op[e]]) for e in erep),
+        dtype=np.float64,
+        count=euniq.shape[0],
+    )
+    return duration, act_units, comm_table[einverse]
+
+
+@dataclass(frozen=True)
+class _EvalPlan:
+    """Cost-independent evaluation plan for one compiled graph.
+
+    ``order`` is a topological order of the op indices (dependency and
+    program-order edges); ``levels`` is the dependency height.  Both
+    depend only on the graph structure, so the plan is computed once
+    (Kahn's algorithm) and cached on the graph — replaying the timing
+    recurrence for a cost model is then a single scalar pass.
+    """
+
+    order: list[int]
+    levels: int
+
+
+def _build_plan(graph: ScheduleGraph) -> _EvalPlan:
+    """Kahn's algorithm over dependency + program-order edges.
+
+    Raises :class:`ScheduleError` if the combined edge relation has a
+    cycle (the frontier stalls before covering every op) — the same
+    deadlock the simulator's engines detect.
+    """
+    num_ops = graph.num_ops
+    pred_indptr = graph.pred_indptr
+    succ_indptr, succ = graph.succ_indptr, graph.succ
+    pos = graph.pos
+    indeg = [
+        pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
+        for i in range(num_ops)
+    ]
+    frontier = [i for i in range(num_ops) if indeg[i] == 0]
+    order: list[int] = []
+    levels = 0
+    while frontier:
+        levels += 1
+        order.extend(frontier)
+        nxt: list[int] = []
+        for i in frontier:
+            for e in range(succ_indptr[i], succ_indptr[i + 1]):
+                j = succ[e]
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    nxt.append(j)
+            j = i + 1
+            if j < num_ops and pos[j] > 0:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    nxt.append(j)
+        frontier = nxt
+    if len(order) != num_ops:
+        stuck = [str(graph.ops[i]) for i in range(num_ops) if indeg[i] > 0][:8]
+        raise ScheduleError(f"evaluation deadlock; blocked ops: {stuck}")
+    return _EvalPlan(order=order, levels=levels)
+
+
+def _graph_plan(graph: ScheduleGraph) -> _EvalPlan:
+    """The graph's cached evaluation plan (built on first use)."""
+    plan = graph._dense_plan
+    if not isinstance(plan, _EvalPlan):
+        plan = _build_plan(graph)
+        graph._dense_plan = plan
+    return plan
+
+
+def dense_schedule_times(graph: ScheduleGraph, cost: CostModel) -> DenseTimes:
+    """Evaluate the replay recurrence over ``graph`` under ``cost``."""
+    duration, act_units, comm = op_cost_arrays(graph, cost)
+    return wavefront_times(graph, duration, act_units, comm)
+
+
+def wavefront_times(
+    graph: ScheduleGraph,
+    duration: FloatArray,
+    act_units: FloatArray,
+    comm: FloatArray,
+) -> DenseTimes:
+    """Max-plus replay in the graph's cached topological plan order.
+
+    Raises :class:`ScheduleError` if the graph plus program-order edges
+    contains a cycle — the same deadlock the simulator's engines
+    detect.
+    """
+    num_ops = graph.num_ops
+    if num_ops == 0:
+        empty = np.zeros(0, dtype=np.float64)
+        return DenseTimes(
+            start=empty,
+            end=empty.copy(),
+            duration=duration,
+            act_units=act_units,
+            comm=comm,
+            levels=0,
+        )
+    plan = _graph_plan(graph)
+    pred_indptr, pred = graph.pred_indptr, graph.pred
+    pos = graph.pos
+    # Scalar replay over flat lists: the recurrence is a dependency
+    # chain (max alternating with add), so per-op latency — not
+    # vectorizable width — is what matters; plain-list indexing beats
+    # per-wavefront NumPy dispatch on the narrow fronts these pipeline
+    # graphs produce.  Floats are bit-identical either way (module
+    # docstring).
+    dur = duration.tolist()
+    cm = comm.tolist()
+    start = [0.0] * num_ops
+    end = [0.0] * num_ops
+    for i in plan.order:
+        t = end[i - 1] if pos[i] > 0 else 0.0
+        for e in range(pred_indptr[i], pred_indptr[i + 1]):
+            arrival = end[pred[e]] + cm[e]
+            if arrival > t:
+                t = arrival
+        start[i] = t
+        end[i] = t + dur[i]
+    return DenseTimes(
+        start=np.asarray(start, dtype=np.float64),
+        end=np.asarray(end, dtype=np.float64),
+        duration=duration,
+        act_units=act_units,
+        comm=comm,
+        levels=plan.levels,
+    )

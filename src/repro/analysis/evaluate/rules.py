@@ -1,0 +1,61 @@
+"""Rule catalogue of the analytic schedule evaluator.
+
+The ``EV`` family covers the evaluator's provenance obligations: every
+:class:`~repro.analysis.evaluate.core.AnalyticEvaluation` carries a
+machine-checkable certificate (exact or bounded), and the
+cross-validation harness (:mod:`repro.sim.crossval`) replays the same
+schedule through the event simulator and files one finding per broken
+obligation.  The rules register into the shared
+:mod:`repro.schedules.verify.diagnostics` catalogue so evaluator
+findings render, filter, and serialize exactly like schedule-verifier
+and model-analyzer findings; ids are stable API.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.verify.diagnostics import Rule, Severity, register_rules
+
+#: Version of the analytic evaluator's closed forms and certificates.
+#: Bump whenever the arithmetic changes; the sweep cache folds it into
+#: every fingerprint so stale analytic entries can never be replayed.
+EVALUATOR_VERSION: int = 1
+
+#: Everything the evaluator cross-validation checks.
+EVALUATE_RULES: tuple[str, ...] = ("EV001", "EV002", "EV003", "EV004")
+
+register_rules(
+    Rule(
+        "EV001",
+        "analytic/sim divergence",
+        Severity.ERROR,
+        "A quantity the evaluator certified as exact (op start/end "
+        "time, stage busy time, peak ledger units, makespan, or bubble "
+        "ratio) differs bit-for-bit from the event simulator's replay "
+        "of the same schedule under the same cost model.",
+    ),
+    Rule(
+        "EV002",
+        "certified bound violated",
+        Severity.ERROR,
+        "The simulated iteration time falls outside the evaluator's "
+        "bounded-error certificate: the closed-form lower/upper bounds "
+        "do not contain the event simulator's result.",
+    ),
+    Rule(
+        "EV003",
+        "inconsistent certificate",
+        Severity.ERROR,
+        "An evaluation's certificate is self-contradictory: an exact "
+        "certificate with a non-degenerate bound interval, a lower "
+        "bound above the upper bound, or a certified value outside its "
+        "own interval.",
+    ),
+    Rule(
+        "EV004",
+        "phase decomposition mismatch",
+        Severity.ERROR,
+        "A stage's warmup/steady/cooldown boundaries do not tile the "
+        "stage's busy window: a boundary is out of order, negative, or "
+        "beyond the stage's last op end.",
+    ),
+)

@@ -23,6 +23,12 @@ the default :data:`NULL_SINK` keeps uninstrumented runs free.
 from __future__ import annotations
 
 from repro.analysis import analyze_spec as check_model
+from repro.analysis.evaluate import (
+    AnalyticEvaluation,
+    TimeBounds,
+    evaluate_schedule,
+    iteration_time_bounds,
+)
 from repro.hardware import ClusterSpec, GPUSpec, get_cluster
 from repro.model import ModelSpec, get_model, tiny_spec
 from repro.nn import build_model
@@ -55,8 +61,10 @@ from repro.schedules import (
 )
 from repro.schedules.verify import verify_schedule as verify
 from repro.sim import ClusterCost, SimResult, UniformCost, simulate
+from repro.sim.crossval import cross_validate
 
 __all__ = [
+    "AnalyticEvaluation",
     "ChromeTraceSink",
     "ClusterCost",
     "ClusterSpec",
@@ -81,16 +89,20 @@ __all__ = [
     "SimResult",
     "SweepCache",
     "TeeSink",
+    "TimeBounds",
     "UniformCost",
     "build_model",
     "build_problem",
     "build_schedule",
     "check_model",
     "chrome_trace",
+    "cross_validate",
     "evaluate_config",
+    "evaluate_schedule",
     "get_cluster",
     "get_model",
     "iteration_metrics",
+    "iteration_time_bounds",
     "plan",
     "record_iteration",
     "simulate",

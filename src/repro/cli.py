@@ -13,7 +13,10 @@ Commands:
   partition, schedule) pair (shape/interface inference, gradient
   coverage, happens-before hazards); exits non-zero on errors.
 * ``plan <model> <gbs>`` — grid-search every method and print the
-  winners.
+  winners (routed through the analytic first pass).
+* ``evaluate <method>`` — analytically evaluate a generated schedule
+  (certified closed forms, ``docs/evaluation.md``); ``--check``
+  cross-validates against the event simulator (EV rules).
 * ``trace <method>`` — run one iteration on the simulator and/or the
   NumPy runtime and export a combined Chrome/Perfetto trace via the
   telemetry bus (``repro.obs``).
@@ -348,6 +351,45 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.analysis.evaluate import (
+        evaluate_schedule,
+        iteration_time_bounds,
+    )
+    from repro.sim import UniformCost
+
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
+    cost = UniformCost(schedule.problem, tw=args.tw)
+    evaluation = evaluate_schedule(schedule, cost)
+    bounds = iteration_time_bounds(schedule.problem, cost)
+    if args.check:
+        from repro.sim.crossval import cross_validate
+
+        report = cross_validate(
+            schedule, cost, evaluation=evaluation, bounds=bounds
+        )
+        return _emit_reports([report], args)
+    if args.json or args.format == "json":
+        payload = evaluation.to_dict()
+        if bounds is not None:
+            payload["build_free_bounds"] = {
+                "lower_s": bounds.lower,
+                "upper_s": bounds.upper,
+            }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(evaluation.render_text())
+        if bounds is not None:
+            print(
+                f"build-free bounds: [{bounds.lower:.6g}, "
+                f"{bounds.upper:.6g}] s"
+            )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.record import record_iteration
     from repro.obs.sinks import ChromeTraceSink
@@ -445,6 +487,20 @@ def _configure_plan(parser: argparse.ArgumentParser) -> None:
                         help="print every pruned/rejected config with reason")
 
 
+def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    parser.add_argument("--tw", type=float, default=1.0,
+                        help="weight-gradient time (split methods)")
+    parser.add_argument("--check", action="store_true",
+                        help="cross-validate the evaluation against the "
+                             "event simulator (EV rules)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--json", action="store_true",
+                        help="shorthand for --format json")
+
+
 def _configure_trace(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("method")
     _shape_flags(parser)
@@ -483,6 +539,9 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
                _configure_check_model, _cmd_check_model),
     Subcommand("plan", "grid-search parallel strategies",
                _configure_plan, _cmd_plan),
+    Subcommand("evaluate",
+               "analytically evaluate a schedule (certified closed forms)",
+               _configure_evaluate, _cmd_evaluate),
     Subcommand("trace",
                "export a combined sim + runtime Chrome/Perfetto trace",
                _configure_trace, _cmd_trace),

@@ -2,26 +2,41 @@
 
 This is the heart of every end-to-end experiment: it builds the
 pipeline problem, lets the method's scheduler plan with the calibrated
-cost model (the role MEPipe's profiler plays, Section 6), replays the
-schedule on the discrete-event executor, and converts the outcome into
+cost model (the role MEPipe's profiler plays, Section 6), evaluates the
+schedule — on the discrete-event executor (``tier="sim"``) or through
+the certified closed-form evaluator (``tier="analytic"``, bit-identical
+floats, see ``docs/evaluation.md``) — and converts the outcome into
 iteration time, memory footprint, OOM status, throughput, and MFU.
+
+:func:`config_bounds` additionally derives certified build-free bounds
+(iteration-time interval, memory floor) for a configuration without
+generating a schedule at all; the tiered grid search uses those to
+prune dominated candidates before paying for schedule generation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.analysis import interface_report
+from repro.analysis.evaluate import (
+    AnalyticEvaluation,
+    evaluate_schedule,
+    iteration_time_bounds,
+    peak_units_floor,
+)
 from repro.hardware.cluster import ClusterSpec
 from repro.model.flops import model_train_flops
 from repro.model.memory import GiB, budget_for
 from repro.model.spec import ModelSpec
 from repro.parallel.strategies import ParallelConfig, validate_for_cluster
+from repro.schedules.base import ScheduleError
 from repro.schedules.greedy import default_first_stage_cap, min_first_stage_cap
 from repro.schedules.methods import build_problem, build_schedule, method_traits
 from repro.schedules.verify import assert_clean
 from repro.sim.cost import ClusterCost
-from repro.sim.executor import simulate
+from repro.sim.executor import SimResult, simulate
 
 
 @dataclass(frozen=True)
@@ -38,6 +53,12 @@ class EvalResult:
     tflops_per_gpu: float
     mfu: float
     forwards_before_first_backward: int | None = None
+    #: Which evaluation tier produced this result: ``"sim"`` (event
+    #: replay + full static verification) or ``"analytic"`` (certified
+    #: closed-form evaluator).  The numbers are bit-identical either
+    #: way; the tier records provenance and keys the sweep cache so the
+    #: tiers never alias.
+    tier: str = "sim"
 
     @property
     def peak_memory_gib(self) -> float:
@@ -57,6 +78,28 @@ class EvalResult:
 WGRAD_GEMMS = 2
 
 
+@lru_cache(maxsize=64)
+def _cached_schedule(
+    method: str,
+    problem: object,
+    cost: ClusterCost,
+    f: int | None,
+) -> object:
+    """Per-process memo over deterministic schedule builds.
+
+    Generation dominates evaluation cost, and the tiered search
+    evaluates the same cell twice — analytically in the first pass and
+    on the simulator for Pareto-frontier provenance.  The inputs fully
+    determine the build (all are frozen/hashable), and the schedule's
+    verification verdict and compiled graph are cached on the object,
+    so sharing it between tiers is both safe and what makes the second
+    evaluation of a cell nearly free.
+    """
+    return build_schedule(
+        method, problem, cost=cost, forwards_before_first_backward=f
+    )
+
+
 def evaluate_config(
     method: str,
     spec: ModelSpec,
@@ -65,6 +108,7 @@ def evaluate_config(
     global_batch_size: int,
     forwards_before_first_backward: int | None = None,
     auto_select_variant: bool = True,
+    tier: str = "sim",
 ) -> EvalResult:
     """Evaluate one configuration; never raises for OOM (returns it).
 
@@ -72,6 +116,14 @@ def evaluate_config(
     memory model: the largest ``f`` whose activation footprint fits the
     device budget is selected (fewer forwards in flight -> more bubbles
     but less memory, Figure 5).
+
+    ``tier`` selects how the built schedule is evaluated.  ``"sim"``
+    runs the full static verification (``assert_clean``) and the
+    discrete-event replay; ``"analytic"`` runs the certified closed-form
+    evaluator instead, which produces bit-identical iteration time,
+    bubble ratio, and memory — the tiered grid search uses it for the
+    cheap first pass and re-evaluates only the Pareto frontier at
+    ``"sim"`` provenance.
     """
     traits = method_traits(method)
     vp = traits.fixed_vp or config.vp
@@ -114,16 +166,28 @@ def evaluate_config(
     if f is None and auto_select_variant and traits.uses_spp:
         f = select_variant(problem, cost, budget.available_for_activations)
 
-    schedule = build_schedule(
-        method, problem, cost=cost, forwards_before_first_backward=f
-    )
-    # Full static verification (channel order, liveness, closed-form
-    # cross-check on top of the builder's safety tier): a misgenerated
-    # schedule is rejected here with the complete diagnostic report, so
-    # the grid search skips it and the trail explains why.
-    assert_clean(schedule, method=method)
+    schedule = _cached_schedule(method, problem, cost, f)
     overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
-    result = simulate(schedule, cost, overhead_time=overhead)
+    result: SimResult | AnalyticEvaluation
+    if tier == "sim":
+        # Full static verification (channel order, liveness, closed-form
+        # cross-check on top of the builder's safety tier): a misgenerated
+        # schedule is rejected here with the complete diagnostic report, so
+        # the grid search skips it and the trail explains why.
+        assert_clean(schedule, method=method)
+        # The heap engine, deliberately: the sim tier confirms the
+        # analytic tier's frontier, so it must not share the dense
+        # replay code path the analytic evaluator runs on (the scalar
+        # event heap is an independent implementation of the same
+        # recurrence; all engines are bit-for-bit per the golden tests).
+        result = simulate(schedule, cost, overhead_time=overhead, engine="heap")
+    elif tier == "analytic":
+        # The closed-form evaluator: same floats, certified exact, no
+        # event replay and only the builder's safety-tier verification
+        # (the frontier is re-evaluated at "sim" before anything ships).
+        result = evaluate_schedule(schedule, cost, overhead_time=overhead)
+    else:
+        raise ValueError(f"unknown evaluation tier {tier!r}")
 
     act_bytes = int(result.peak_activation_units * cost.activation_bytes_per_unit())
     peak = budget.static + budget.temporary + budget.allocator_reserve + act_bytes
@@ -144,7 +208,92 @@ def evaluate_config(
         tflops_per_gpu=tflops_per_gpu,
         mfu=mfu,
         forwards_before_first_backward=f,
+        tier=tier,
     )
+
+
+@dataclass(frozen=True)
+class ConfigBounds:
+    """Certified build-free bounds on one configuration's outcome.
+
+    ``lower_time_s``/``upper_time_s`` bound the iteration time of *any*
+    schedule of this configuration (guard-banded, see
+    :mod:`repro.analysis.evaluate.bounds`); ``memory_floor_bytes``
+    lower-bounds its peak memory the same way.  A configuration whose
+    lower bound already loses to an evaluated incumbent on *both* axes
+    is certainly dominated and need never be scheduled.
+    """
+
+    lower_time_s: float
+    upper_time_s: float
+    memory_floor_bytes: int
+
+
+def config_bounds(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    config: ParallelConfig,
+    global_batch_size: int,
+) -> ConfigBounds | None:
+    """Certified bounds for a configuration, without building a schedule.
+
+    Mirrors :func:`evaluate_config`'s prelude (validation, problem and
+    cost construction, budget, variant selection) but stops before
+    ``build_schedule``.  Returns ``None`` whenever anything that the
+    full evaluation would reject (or that the bound theory does not
+    cover) comes up — the caller then falls through to the full
+    evaluation, which raises or answers authoritatively.
+    """
+    try:
+        traits = method_traits(method)
+        vp = traits.fixed_vp or config.vp
+        effective = config.with_(vp=vp) if vp != config.vp else config
+        if validate_for_cluster(effective, cluster.num_devices, spec):
+            return None
+        n = config.micro_batches(global_batch_size)
+        wgrad_gemms = WGRAD_GEMMS if traits.split_backward else 1
+        problem = build_problem(
+            method,
+            config.pp,
+            n,
+            num_slices=config.spp,
+            virtual_size=vp,
+            wgrad_gemms=wgrad_gemms,
+        )
+        interfaces = interface_report(
+            spec, problem, name=f"{method} {config.describe()}"
+        )
+        if not interfaces.ok:
+            return None
+        cost = ClusterCost(
+            spec=spec, config=config, cluster=cluster, problem=problem
+        )
+        budget = budget_for(
+            spec,
+            capacity_bytes=cluster.gpu.memory_bytes,
+            pipeline_stages=config.pp * config.tp,
+            total_devices=cluster.num_devices,
+            micro_batch_tokens=cost.tokens_per_op * config.micro_batch_size,
+        )
+        f = None
+        if traits.uses_spp:
+            f = select_variant(problem, cost, budget.available_for_activations)
+        overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
+        bounds = iteration_time_bounds(problem, cost, overhead_time=overhead)
+        if bounds is None:
+            return None
+        floor_units = peak_units_floor(problem, cost, forwards_floor=f)
+        floor = budget.static + budget.temporary + budget.allocator_reserve
+        floor += budget.framework_overhead
+        floor += int(floor_units * cost.activation_bytes_per_unit())
+        return ConfigBounds(
+            lower_time_s=bounds.lower,
+            upper_time_s=bounds.upper,
+            memory_floor_bytes=floor,
+        )
+    except (ScheduleError, ValueError, KeyError):
+        return None
 
 
 def select_variant(problem, cost: ClusterCost, available_bytes: int) -> int | None:

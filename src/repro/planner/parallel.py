@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from pathlib import Path
 
+from repro.analysis.evaluate.rules import EVALUATOR_VERSION
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
 from repro.obs.events import NULL_SINK, EventSink
@@ -42,18 +43,26 @@ from repro.schedules.base import ScheduleError
 
 #: Bump when the evaluation semantics change so stale cache entries
 #: (computed under the old semantics) can never be replayed.
-CACHE_SCHEMA = 1
+#: Schema 2 added the evaluation tier (and the evaluator version) to
+#: both the fingerprint and the stored result.
+CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)
 class EvalTask:
-    """One grid cell: everything :func:`evaluate_config` needs."""
+    """One grid cell: everything :func:`evaluate_config` needs.
+
+    ``tier`` selects the evaluation tier (``"sim"`` or ``"analytic"``,
+    see :func:`~repro.planner.evaluate.evaluate_config`); it is part of
+    the cache fingerprint, so analytic and sim outcomes never alias.
+    """
 
     method: str
     spec: ModelSpec
     cluster: ClusterSpec
     config: ParallelConfig
     global_batch_size: int
+    tier: str = "sim"
 
 
 @dataclass(frozen=True)
@@ -82,6 +91,12 @@ def eval_fingerprint(task: EvalTask) -> str:
         "cluster": asdict(task.cluster),
         "config": asdict(task.config),
         "global_batch_size": task.global_batch_size,
+        # The evaluation tier and the analytic evaluator's version are
+        # part of the input: a tier="sim" sweep must never replay an
+        # analytic entry (or vice versa), and bumping the evaluator
+        # invalidates every analytic cell it computed.
+        "tier": task.tier,
+        "evaluator": EVALUATOR_VERSION,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return sha256(blob.encode()).hexdigest()
@@ -172,6 +187,7 @@ def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome, float]:
             task.cluster,
             task.config,
             task.global_batch_size,
+            tier=task.tier,
         )
     except (ScheduleError, ValueError) as exc:
         first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__

@@ -68,6 +68,7 @@ class ScheduleGraph:
         "pred_cross",
         "succ_indptr",
         "succ",
+        "_dense_plan",
     )
 
     def __init__(
@@ -101,6 +102,10 @@ class ScheduleGraph:
         self.pred_cross = pred_cross
         self.succ_indptr = succ_indptr
         self.succ = succ
+        # Cost-independent evaluation plan, lazily built and cached by
+        # repro.analysis.evaluate.dense (topological order + height
+        # depend only on the graph, never on the cost model).
+        self._dense_plan: object | None = None
 
     @property
     def num_ops(self) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.comm import ring_all_gather_time, ring_all_reduce_time
@@ -49,7 +49,13 @@ class CostModel(Protocol):
         ...
 
 
-def op_cost_fns(cost: CostModel):
+def op_cost_fns(
+    cost: CostModel,
+) -> tuple[
+    Callable[[OpId], float],
+    Callable[[OpId, OpId], float],
+    Callable[[OpId], float],
+]:
     """``(duration, comm_time, act_units)`` callables for ``cost``.
 
     When the model declares ``microbatch_invariant``, each callable

@@ -5,19 +5,28 @@ executor computes when every op runs, how long each stage idles
 (bubbles), and the peak activation memory each stage pins — the three
 quantities the paper's analysis and evaluation revolve around.
 
-Two engines produce identical results:
+Three engines produce identical results:
 
-* ``"event"`` (default) — an event-driven ready-queue replay over the
-  compiled :class:`~repro.schedules.graph.ScheduleGraph`: per-op
-  durations and comm times are precomputed into flat arrays, indegree
+* ``"event"`` (default) — the ready-queue recurrence evaluated as NumPy
+  wavefronts over the compiled
+  :class:`~repro.schedules.graph.ScheduleGraph`'s dense CSR arrays
+  (:mod:`repro.analysis.evaluate.dense`): each Kahn level's starts are
+  one gather + segmented-``maximum`` instead of a per-op Python loop.
+  O(V + E) array work across ~dependency-height levels.
+* ``"heap"`` — the event-driven scalar replay this vectorization grew
+  out of: per-op durations and comm times in flat arrays, indegree
   counting makes each op ready exactly once, and a heap keyed on ready
   time drains the queue chronologically.  O((V + E) log V), no
   ``OpId`` hashing in the replay loop.
 * ``"fixed-point"`` — the original round-robin blocked-head scan, kept
-  as the golden reference; an op's start time is a pure function of its
-  dependencies' end times (float ``max`` is exact), and both engines
-  accumulate per-stage busy time and the activation ledger in program
-  order, so the equivalence is bit-for-bit, not approximate.
+  as the golden reference.
+
+An op's start time is a pure function of its dependencies' end times
+(IEEE ``max`` is exact and order-independent, and every add uses
+identical operands), and all engines accumulate per-stage busy time and
+the activation ledger in program order, so the equivalence is
+bit-for-bit, not approximate — ``tests/test_engine_golden.py`` asserts
+it across the acceptance grid.
 """
 
 from __future__ import annotations
@@ -227,6 +236,8 @@ def simulate(
 
     ensure_verified(schedule, context="simulate")
     if engine == "event":
+        result = _simulate_dense(schedule, cost, overhead_time, actgrad_factor)
+    elif engine == "heap":
         result = _simulate_event(schedule, cost, overhead_time, actgrad_factor)
     elif engine == "fixed-point":
         result = _simulate_fixed_point(
@@ -252,13 +263,72 @@ def simulate(
     return result
 
 
+def _simulate_dense(
+    schedule: Schedule,
+    cost: CostModel,
+    overhead_time: float,
+    actgrad_factor: float,
+) -> SimResult:
+    """Vectorized wavefront replay over the compiled graph's CSR arrays.
+
+    The times come from :func:`repro.analysis.evaluate.dense.
+    wavefront_times` (imported lazily — ``repro.analysis`` imports sim
+    modules for its own checks); the per-stage accumulation below is the
+    same program-order loop as the heap engine, so busy time and ledger
+    peaks sum in the identical float order.
+    """
+    from repro.analysis.evaluate.dense import dense_schedule_times
+
+    problem = schedule.problem
+    graph = compiled_graph(schedule)
+    times = dense_schedule_times(graph, cost)
+    ops = graph.ops
+    # tolist() round-trips exactly: the records carry Python floats with
+    # the same bits the wavefront computed.
+    start = times.start.tolist()
+    end = times.end.tolist()
+    duration = times.duration.tolist()
+    act_units = times.act_units.tolist()
+
+    records: dict[OpId, OpRecord] = {}
+    rec_lists: list[list[OpRecord]] = []
+    metrics: list[StageMetrics] = []
+    stage_ends: list[float] = []
+    for s, (lo, hi) in enumerate(graph.stage_bounds):
+        m = StageMetrics(stage=s)
+        ledger = _Ledger(problem=problem, actgrad_factor=actgrad_factor)
+        stage_list: list[OpRecord] = []
+        for i in range(lo, hi):
+            op = ops[i]
+            record = OpRecord(op=op, stage=s, start=start[i], end=end[i])
+            records[op] = record
+            stage_list.append(record)
+            m.busy_time += duration[i]
+            m.op_count += 1
+            ledger.apply(op, act_units[i])
+        m.peak_activation_units = ledger.peak
+        metrics.append(m)
+        rec_lists.append(stage_list)
+        stage_ends.append(end[hi - 1] if hi > lo else 0.0)
+    makespan = max(stage_ends) if stage_ends else 0.0
+    return SimResult(
+        schedule_name=schedule.name,
+        problem=problem,
+        records=records,
+        stages=metrics,
+        makespan=makespan,
+        overhead_time=overhead_time,
+        stage_record_lists=rec_lists,
+    )
+
+
 def _simulate_event(
     schedule: Schedule,
     cost: CostModel,
     overhead_time: float,
     actgrad_factor: float,
 ) -> SimResult:
-    """Event-driven replay over the compiled graph (see module docstring)."""
+    """Event-driven heap replay over the compiled graph (``"heap"``)."""
     problem = schedule.problem
     graph = compiled_graph(schedule)
     num_ops = graph.num_ops

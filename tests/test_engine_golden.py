@@ -1,8 +1,9 @@
-"""Golden equivalence: the event engine replays the fixed-point engine.
+"""Golden equivalence: every engine replays the fixed-point engine.
 
-The event-driven executor must be a pure speedup — not an
-approximation — of the original fixed-point replay.  These tests
-compare the two engines bit-for-bit (op records, makespan, per-stage
+The vectorized wavefront executor (``"event"``) and the event-driven
+heap replay (``"heap"``) must be pure speedups — not approximations —
+of the original fixed-point replay.  These tests compare the engines
+bit-for-bit (op records, makespan, per-stage
 busy time and activation peaks) across the acceptance grid from
 ``tests/test_verify.py``, under the uniform cost model, an imbalanced
 one, the calibrated cluster model, and a custom model that charges
@@ -59,9 +60,9 @@ def test_engines_agree_under_cluster_cost():
         problem=problem,
     )
     schedule = build_schedule("mepipe", problem, cost=cost)
-    event = simulate(schedule, cost, engine="event")
     fixed = simulate(schedule, cost, engine="fixed-point")
-    assert_bitwise_equal(event, fixed)
+    for engine in ("event", "heap"):
+        assert_bitwise_equal(simulate(schedule, cost, engine=engine), fixed)
 
 
 class _EdgeTaxCost:
@@ -85,9 +86,9 @@ def test_engines_agree_with_edge_charging_cost():
     problem = build_problem("mepipe", 4, 8, num_slices=2, wgrad_gemms=2)
     schedule = build_schedule("mepipe", problem)
     cost = _EdgeTaxCost(problem)
-    event = simulate(schedule, cost, engine="event")
     fixed = simulate(schedule, cost, engine="fixed-point")
-    assert_bitwise_equal(event, fixed)
+    for engine in ("event", "heap"):
+        assert_bitwise_equal(simulate(schedule, cost, engine=engine), fixed)
 
 
 def test_unknown_engine_rejected():
@@ -101,7 +102,7 @@ def test_stage_records_cached_and_sorted():
     problem = build_problem("mepipe", 4, 8, num_slices=2, wgrad_gemms=2)
     schedule = build_schedule("mepipe", problem)
     cost = UniformCost(problem)
-    for engine in ("event", "fixed-point"):
+    for engine in ("event", "heap", "fixed-point"):
         result = simulate(schedule, cost, engine=engine)
         for stage in range(problem.num_stages):
             records = result.stage_records(stage)
