@@ -1,0 +1,194 @@
+"""Bench: fast-path schedule generation vs the preserved reference.
+
+The array-native engine (``repro.schedules.greedy``) must beat the
+pre-rewrite engine (``repro.schedules.greedy_reference``) by >=3x
+per cell on the largest 13B MEPipe cells, and the end-to-end Figure 10
+sweep — the generation-bound workload that motivated the rewrite —
+must be measurably faster than the same sweep forced through the
+reference engine.
+
+Both paths are timed min-of-reps: generation is deterministic, so the
+minimum is the least noisy estimator on a shared machine.  The "old
+path" reproduces what the planner used to pay per cell: reference
+generation plus the content fingerprint plus graph compilation (the
+fast engine emits the graph during generation, so its path prices all
+three as one call).
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.schedules import gencache
+from repro.schedules.base import PipelineProblem
+from repro.schedules.graph import compiled_graph, fingerprint
+from repro.schedules.greedy import GreedyPolicy, greedy_schedule
+from repro.schedules.greedy_reference import greedy_reference
+
+#: The two largest MEPipe cells of the 13B row: p=8, n=32, split
+#: backward with 2 W GEMM fragments, at both slice counts the Figure 10
+#: sweep visits.
+CELLS = {
+    "s8": PipelineProblem(
+        num_stages=8, num_microbatches=32, num_slices=8, virtual_size=1,
+        split_backward=True, wgrad_gemms=2,
+    ),
+    "s16": PipelineProblem(
+        num_stages=8, num_microbatches=32, num_slices=16, virtual_size=1,
+        split_backward=True, wgrad_gemms=2,
+    ),
+}
+POLICY = GreedyPolicy(cap_slope=0)
+REPS = 7
+MIN_CELL_SPEEDUP = 3.0
+MIN_SWEEP_SPEEDUP = 1.15
+
+
+@pytest.fixture
+def cold_gen():
+    """Disable the generation cache so every call prices the engine."""
+    gencache.clear()
+    gencache.set_enabled(False)
+    yield
+    gencache.set_enabled(None)
+    gencache.clear()
+
+
+def interleaved_min_of(fn_a, fn_b, reps=REPS):
+    """Min-of-reps for two callables, alternating them each round.
+
+    Alternation means background load on a shared machine degrades both
+    measurements alike instead of landing on whichever path happened to
+    be timed second, which is what keeps the asserted *ratio* stable
+    under noise.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def reference_path(problem):
+    schedule = greedy_reference(problem, POLICY, None, "greedy")
+    fingerprint(schedule)
+    compiled_graph(schedule)
+    return schedule
+
+
+def fast_path(problem):
+    schedule = greedy_schedule(problem, POLICY)
+    fingerprint(schedule)
+    compiled_graph(schedule)
+    return schedule
+
+
+@pytest.mark.parametrize("cell", sorted(CELLS), ids=str)
+def test_bench_generate_13b_speedup(benchmark, cold_gen, cell):
+    problem = CELLS[cell]
+    # Warm the structure/cost memos both paths share before timing.
+    reference_path(problem)
+    schedule = fast_path(problem)
+    assert schedule.op_count() == len(problem.all_ops())
+
+    # Up to three measurement attempts: a burst of unrelated machine
+    # load can still skew one round of mins, and the claim under test
+    # is the engine ratio, not the machine's quietness.
+    for _ in range(3):
+        old_s, new_s = interleaved_min_of(
+            lambda: reference_path(problem), lambda: fast_path(problem)
+        )
+        if old_s >= MIN_CELL_SPEEDUP * new_s:
+            break
+    # Record the fast path under the regression gate.
+    benchmark.pedantic(
+        lambda: fast_path(problem), rounds=REPS, iterations=1, warmup_rounds=1
+    )
+    assert old_s >= MIN_CELL_SPEEDUP * new_s, (
+        f"{cell}: reference {old_s * 1e3:.1f} ms vs fast {new_s * 1e3:.1f} ms "
+        f"is below the {MIN_CELL_SPEEDUP:.1f}x floor"
+    )
+
+
+#: Each fig10 leg runs in its own interpreter so neither pollutes (or
+#: borrows) this process's schedule memo, generation cache, or cost
+#: memos — both legs are true cold starts, and the rest of the
+#: benchmark suite keeps its warm state.
+_FIG10_LEG = """\
+import time
+{prelude}
+from repro.experiments import fig10
+t0 = time.perf_counter()
+report = fig10.run()
+assert report.rows
+print("SECONDS", time.perf_counter() - t0)
+"""
+
+_REFERENCE_PRELUDE = """\
+import repro.schedules.greedy as greedy
+from repro.schedules import gencache
+from repro.schedules.graph import compiled_graph, fingerprint
+from repro.schedules.greedy_reference import greedy_reference
+
+def _reference_once(problem, policy, cost, name):
+    schedule = greedy_reference(problem, policy, cost, name)
+    fingerprint(schedule)
+    compiled_graph(schedule)
+    return schedule
+
+greedy._greedy_once = _reference_once
+gencache.set_enabled(False)
+"""
+
+
+def _fig10_seconds(prelude: str) -> float:
+    env = {
+        k: v for k, v in os.environ.items()
+        if not k.startswith("REPRO_")
+    }
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _FIG10_LEG.format(prelude=prelude)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    for line in proc.stdout.splitlines():
+        if line.startswith("SECONDS "):
+            return float(line.split()[1])
+    raise AssertionError(f"no timing line in fig10 leg output: {proc.stdout}")
+
+
+def test_bench_fig10_end_to_end_speedup(benchmark):
+    """The full Figure 10 sweep must be measurably faster than the same
+    sweep forced through the reference engine (both legs cold, each in
+    its own interpreter)."""
+    fast_box = {}
+
+    def fast_leg():
+        fast_box["s"] = _fig10_seconds("")
+
+    # The recorded gate number includes interpreter startup; the
+    # asserted ratio uses the in-leg measurement, which does not.
+    benchmark.pedantic(fast_leg, rounds=1, iterations=1, warmup_rounds=0)
+    fast_s = fast_box["s"]
+    ref_s = _fig10_seconds(_REFERENCE_PRELUDE)
+    if ref_s < MIN_SWEEP_SPEEDUP * fast_s:
+        # One retry of each leg: a ~20 s leg is a wide window for a
+        # burst of unrelated load to land in, and the mins are what
+        # the ratio claim is about.
+        fast_s = min(fast_s, _fig10_seconds(""))
+        ref_s = min(ref_s, _fig10_seconds(_REFERENCE_PRELUDE))
+
+    print(f"\nfig10 sweep: reference {ref_s:.2f}s, fast {fast_s:.2f}s, "
+          f"speedup {ref_s / fast_s:.2f}x")
+    assert ref_s >= MIN_SWEEP_SPEEDUP * fast_s, (
+        f"fig10 end-to-end: reference {ref_s:.2f}s vs fast {fast_s:.2f}s "
+        f"is below the {MIN_SWEEP_SPEEDUP:.2f}x floor"
+    )

@@ -9,13 +9,16 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     mypy --strict src/repro/analysis/evaluate
     mypy --strict src/repro/obs
     mypy --strict src/repro/pipeline
+    mypy --strict src/repro/schedules/greedy.py src/repro/schedules/gencache.py src/repro/schedules/graph.py
     PYTHONPATH=src python -m pytest -x -q
     python -m repro check-model grid
 """
 
 import nox
 
-nox.options.sessions = ["lint", "analysis", "evaluate", "obs", "pipeline", "tests"]
+nox.options.sessions = [
+    "lint", "analysis", "evaluate", "generate", "obs", "pipeline", "tests",
+]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
 LINT_TARGETS = ("src", "tests")
@@ -60,6 +63,29 @@ def evaluate(session: nox.Session) -> None:
         "tests/test_engine_golden.py",
         "tests/test_evaluate.py",
         "tests/test_evaluate_mutations.py",
+    )
+
+
+@nox.session
+def generate(session: nox.Session) -> None:
+    """The schedule-generation gate: strict typing plus its proof suite.
+
+    The array-native greedy engine's claim is byte-identical output to
+    the preserved reference engine; the gate runs the golden-equivalence
+    grid, the seeded tiebreak/epsilon mutation tests, and the
+    generation-cache identity/aliasing suite.
+    """
+    session.install("-e", ".[test,lint]")
+    session.run(
+        "mypy", "--strict",
+        "src/repro/schedules/greedy.py",
+        "src/repro/schedules/gencache.py",
+        "src/repro/schedules/graph.py",
+    )
+    session.run(
+        "python", "-m", "pytest", "-x", "-q",
+        "tests/test_greedy_golden.py",
+        "tests/test_gencache.py",
     )
 
 

@@ -97,6 +97,9 @@ def _sweep_flags(parser: argparse.ArgumentParser, jobs_default: int | None) -> N
                         help="worker processes for the grid searches")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not reuse/persist sweep results on disk")
+    parser.add_argument("--no-gen-cache", action="store_true",
+                        help="disable in-process schedule-generation "
+                             "memoization (repro.schedules.gencache)")
 
 
 def _selected_rules(
@@ -241,7 +244,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY
     from repro.experiments.common import configure_planner
 
-    configure_planner(jobs=args.jobs, use_cache=not args.no_cache)
+    configure_planner(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        use_gen_cache=not args.no_gen_cache,
+    )
     if args.id == "list":
         for key in REGISTRY:
             print(key)
@@ -331,7 +338,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.hardware import get_cluster
     from repro.model import get_model
     from repro.planner import SweepCache, search_method
+    from repro.schedules import gencache
 
+    if args.no_gen_cache:
+        gencache.set_enabled(False)
     spec = get_model(args.model)
     cluster = get_cluster(args.cluster)
     cache = None if args.no_cache else SweepCache()
@@ -348,6 +358,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 print(f"  skipped {skip.config.describe()}: {skip.reason}")
     if cache is not None and (cache.hits or cache.misses):
         print(f"sweep cache: {cache.hits} hits, {cache.misses} misses")
+    gen_stats = gencache.stats()
+    if gen_stats["hits"] or gen_stats["misses"]:
+        print(
+            f"gen cache: {gen_stats['hits']} hits, "
+            f"{gen_stats['misses']} misses, {gen_stats['size']} resident"
+        )
     return 0
 
 

@@ -28,7 +28,9 @@ SETTINGS = PlannerSettings()
 
 
 def configure_planner(
-    jobs: int | None = None, use_cache: bool | None = None
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    use_gen_cache: bool | None = None,
 ) -> None:
     """Apply CLI-level sweep settings for subsequent :func:`search` calls."""
     if jobs is not None:
@@ -37,6 +39,10 @@ def configure_planner(
         SETTINGS.cache = None
         if use_cache:
             SETTINGS.shared_cache()
+    if use_gen_cache is not None:
+        from repro.schedules import gencache
+
+        gencache.set_enabled(use_gen_cache)
 
 
 def search(

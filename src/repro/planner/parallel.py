@@ -39,13 +39,17 @@ from repro.model.spec import ModelSpec
 from repro.obs.events import NULL_SINK, EventSink
 from repro.parallel.strategies import ParallelConfig
 from repro.planner.evaluate import EvalResult, evaluate_config
+from repro.schedules import gencache
 from repro.schedules.base import ScheduleError
 
 #: Bump when the evaluation semantics change so stale cache entries
 #: (computed under the old semantics) can never be replayed.
 #: Schema 2 added the evaluation tier (and the evaluator version) to
-#: both the fingerprint and the stored result.
-CACHE_SCHEMA = 2
+#: both the fingerprint and the stored result.  Schema 3 folds the
+#: schedule generator's version into the fingerprint: generation moved
+#: to the array-native engine (repro.schedules.greedy), so entries
+#: computed by a different generator can never replay.
+CACHE_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -97,6 +101,9 @@ def eval_fingerprint(task: EvalTask) -> str:
         # invalidates every analytic cell it computed.
         "tier": task.tier,
         "evaluator": EVALUATOR_VERSION,
+        # Schedule construction happens inside the evaluation, so the
+        # generation engine's version is part of the input too.
+        "generator": gencache.GENERATOR_VERSION,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return sha256(blob.encode()).hexdigest()
@@ -170,16 +177,22 @@ class SweepCache:
             tmp.unlink(missing_ok=True)
 
 
-def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome, float]:
+def _run_task(
+    indexed: tuple[int, EvalTask],
+) -> tuple[int, EvalOutcome, float, int, int]:
     """Worker body: evaluate one cell, mapping rejections to outcomes.
 
     Module-level (picklable) and index-tagged so pool results can be
     merged deterministically regardless of completion order.  The third
     element is the evaluation's wall-clock duration, reported back so
-    the parent can emit per-config telemetry spans even for pool runs.
+    the parent can emit per-config telemetry spans even for pool runs;
+    the last two are the generation-cache hit/miss deltas this
+    evaluation caused (pool workers hold their own gen cache, so the
+    parent folds these back into its counters).
     """
     index, task = indexed
     start = time.perf_counter()
+    gen_h0, gen_m0 = gencache.snapshot()
     try:
         result = evaluate_config(
             task.method,
@@ -189,10 +202,13 @@ def _run_task(indexed: tuple[int, EvalTask]) -> tuple[int, EvalOutcome, float]:
             task.global_batch_size,
             tier=task.tier,
         )
+        outcome = EvalOutcome(result=result)
     except (ScheduleError, ValueError) as exc:
         first = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
-        return index, EvalOutcome(error=first), time.perf_counter() - start
-    return index, EvalOutcome(result=result), time.perf_counter() - start
+        outcome = EvalOutcome(error=first)
+    gen_h1, gen_m1 = gencache.snapshot()
+    seconds = time.perf_counter() - start
+    return index, outcome, seconds, gen_h1 - gen_h0, gen_m1 - gen_m0
 
 
 def evaluate_tasks(
@@ -212,8 +228,13 @@ def evaluate_tasks(
     With an enabled ``sink``, the sweep emits one ``cache hit`` instant
     per replayed cell, one ``eval`` span per computed cell (worker
     durations are measured in the worker; pool runs lay the spans out
-    at merge time), and final ``cache_hits`` / ``evaluated`` /
-    ``errors`` counters.
+    at merge time), one ``gen cache hit`` instant per computed cell
+    whose schedule constructions were (at least partly) served from the
+    generation cache, and final ``cache_hits`` / ``evaluated`` /
+    ``errors`` / ``gen_cache_hits`` / ``gen_cache_misses`` counters.
+    Pool workers hold their own generation caches; their hit/miss
+    deltas are folded back into this process's counters
+    (:func:`repro.schedules.gencache.record_remote`).
     """
     observing = sink.enabled
     t0 = time.perf_counter() if observing else 0.0
@@ -236,17 +257,27 @@ def evaluate_tasks(
             pending.append((i, task))
 
     errors = 0
+    gen_hits = 0
+    gen_misses = 0
     if pending:
-        if jobs > 1:
+        pooled = jobs > 1
+        if pooled:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 computed = list(pool.map(_run_task, pending))
         else:
             computed = [_run_task(item) for item in pending]
         tasks_by_index = dict(pending)
-        for i, outcome, seconds in computed:
+        for i, outcome, seconds, gen_h, gen_m in computed:
             outcomes[i] = outcome
             if not outcome.ok:
                 errors += 1
+            gen_hits += gen_h
+            gen_misses += gen_m
+            if pooled and (gen_h or gen_m):
+                # Workers count in their own process-wide gen caches;
+                # fold their deltas into ours (the inline path already
+                # counted here).
+                gencache.record_remote(gen_h, gen_m)
             if cache is not None:
                 cache.put(tasks[i], outcome)
             if observing:
@@ -264,11 +295,22 @@ def evaluate_tasks(
                         "error": outcome.error,
                     },
                 )
+                if gen_h:
+                    sink.instant(
+                        f"gen cache hit {task.method} "
+                        f"{task.config.describe()}",
+                        ts=now,
+                        cat="cache",
+                        args={"method": task.method, "index": i,
+                              "hits": gen_h, "misses": gen_m},
+                    )
     if observing:
         end = time.perf_counter() - t0
         sink.counter("cache_hits", float(cache_hits), ts=end)
         sink.counter("evaluated", float(len(pending)), ts=end)
         sink.counter("errors", float(errors), ts=end)
+        sink.counter("gen_cache_hits", float(gen_hits), ts=end)
+        sink.counter("gen_cache_misses", float(gen_misses), ts=end)
     return [outcome for outcome in outcomes if outcome is not None]
 
 

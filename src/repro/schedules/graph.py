@@ -35,6 +35,8 @@ Contract:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.schedules.base import (
     OpId,
     OpKind,
@@ -56,7 +58,8 @@ class ScheduleGraph:
     __slots__ = (
         "problem",
         "fingerprint",
-        "ops",
+        "_ops",
+        "_ops_factory",
         "kind",
         "cell",
         "gemm",
@@ -75,7 +78,7 @@ class ScheduleGraph:
         self,
         problem: PipelineProblem,
         fingerprint: int,
-        ops: tuple[OpId, ...],
+        ops: tuple[OpId, ...] | None,
         kind: tuple[int, ...],
         cell: tuple[int, ...],
         gemm: tuple[int, ...],
@@ -87,10 +90,14 @@ class ScheduleGraph:
         pred_cross: tuple[bool, ...],
         succ_indptr: tuple[int, ...],
         succ: tuple[int, ...],
+        ops_factory: Callable[[], tuple[OpId, ...]] | None = None,
     ) -> None:
+        if ops is None and ops_factory is None:
+            raise ValueError("ScheduleGraph needs ops or an ops_factory")
         self.problem = problem
         self.fingerprint = fingerprint
-        self.ops = ops
+        self._ops = ops
+        self._ops_factory = ops_factory
         self.kind = kind
         self.cell = cell
         self.gemm = gemm
@@ -108,9 +115,25 @@ class ScheduleGraph:
         self._dense_plan: object | None = None
 
     @property
+    def ops(self) -> tuple[OpId, ...]:
+        """``OpId`` of each dense index.
+
+        Graphs emitted directly by the greedy engine build this tuple
+        lazily — the integer tables carry all structure, and many
+        consumers (fingerprint checks, bounds evaluation) never touch
+        the ``OpId`` objects at all.
+        """
+        materialized = self._ops
+        if materialized is None:
+            factory = self._ops_factory
+            assert factory is not None  # enforced in __init__
+            materialized = self._ops = factory()
+        return materialized
+
+    @property
     def num_ops(self) -> int:
         """Total ops in the compiled schedule."""
-        return len(self.ops)
+        return len(self.kind)
 
     def preds_of(self, i: int) -> tuple[int, ...]:
         """Dependency predecessors of op ``i`` (dense indices)."""
@@ -132,7 +155,18 @@ def fingerprint(schedule: Schedule) -> int:
     ``_hash`` values directly — same collision behavior as hashing the
     ``OpId`` tuples (tuple hashing combines element hashes either way)
     without a Python-level ``__hash__`` call per op.
+
+    Dense-emitted schedules (the greedy engine's ``_DenseSchedule``)
+    carry the token precomputed at generation under ``_dense_token``;
+    while their ``OpId`` programs are still unmaterialized nothing
+    observable could have been mutated, so the token *is* the content
+    hash and the per-op walk is skipped.  The moment ``programs`` is
+    materialized (or replaced) the fast path disarms and in-place
+    mutation invalidates caches exactly as before.
     """
+    token: int | None = getattr(schedule, "_dense_token", None)
+    if token is not None and getattr(schedule, "_programs", None) is None:
+        return token
     return hash(
         tuple(
             (program.stage, tuple(op._hash for op in program.ops))
@@ -231,7 +265,127 @@ def _compile(schedule: Schedule, token: int) -> ScheduleGraph:
             f"missing from the schedule"
         )
 
-    # Dependency edges, predecessor order matching PipelineProblem.deps.
+    return _finish(
+        problem, token, ops, kind_arr, cell_arr, gemm_arr, stage_arr,
+        pos_arr, stage_bounds, dense_of, cells, chunks, s,
+    )
+
+
+def graph_from_codes(
+    problem: PipelineProblem,
+    stage_codes: list[list[int]],
+    token: int,
+    ops_factory: Callable[[], tuple[OpId, ...]],
+) -> ScheduleGraph:
+    """Compile directly from a generator's dense code tables.
+
+    ``stage_codes[k]`` is stage ``k``'s program as canonical op codes.
+    The caller (the array-native greedy engine, which schedules every
+    code of the problem exactly once on its home stage) guarantees
+    structural cleanliness, so :func:`_compile`'s validation — and the
+    per-``OpId`` attribute walk it validates with — is skipped: every
+    table derives from code arithmetic, vectorized, and the ``OpId``
+    tuple itself is built lazily by ``ops_factory`` (which must return
+    the ops in dense = stage-major program order).  The emitted tables
+    are identical to compiling the materialized schedule, asserted by
+    ``tests/test_greedy_golden.py``.
+    """
+    import numpy as np
+
+    n, s = problem.num_microbatches, problem.num_slices
+    chunks = problem.num_chunks
+    gemms = problem.wgrad_gemms
+    cells = n * s * chunks
+    counts = [len(codes) for codes in stage_codes]
+    total = sum(counts)
+
+    code = np.concatenate(
+        [np.asarray(codes, dtype=np.int64) for codes in stage_codes]
+    )
+    is_f = code < cells
+    is_b = ~is_f & (code < 2 * cells)
+    is_w = ~is_f & ~is_b
+    wrem = code - 2 * cells
+    kind = np.where(is_f, KIND_F, np.where(is_b, KIND_B, KIND_W))
+    cell = np.where(is_f, code, np.where(is_b, code - cells, wrem // gemms))
+    gemm = np.where(is_w, wrem % gemms, -1)
+    stage = np.repeat(np.arange(len(stage_codes), dtype=np.int64), counts)
+    pos = np.concatenate([np.arange(k, dtype=np.int64) for k in counts])
+    dense_of = np.empty(total, dtype=np.int64)
+    dense_of[code] = np.arange(total, dtype=np.int64)
+    hi = np.cumsum(np.asarray(counts, dtype=np.int64))
+    stage_bounds = tuple(zip((hi - counts).tolist(), hi.tolist()))
+
+    # Dependency edges.  Each op has at most three predecessors; slot
+    # order per kind reproduces ``PipelineProblem.deps`` order, and
+    # row-major flattening keeps edges grouped by op in that order.
+    c = cell % chunks
+    sl = cell // chunks % s
+    slots = np.full((total, 3), -1, dtype=np.int64)
+    m = is_f & (c > 0)
+    slots[m, 0] = cell[m] - 1
+    m = is_f & (sl > 0)
+    slots[m, 1] = cell[m] - chunks
+    slots[is_b, 0] = cell[is_b]
+    m = is_b & (c < chunks - 1)
+    slots[m, 1] = cells + cell[m] + 1
+    m = is_b & (sl < s - 1)
+    slots[m, 2] = cells + cell[m] + chunks
+    slots[is_w, 0] = cells + cell[is_w]
+
+    flat = slots.ravel()
+    active = flat >= 0
+    pred_dense = dense_of[flat[active]]
+    edge_src = np.repeat(np.arange(total, dtype=np.int64), 3)[active]
+    pred_cross = stage[pred_dense] != stage[edge_src]
+    pred_indptr = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(np.count_nonzero(slots >= 0, axis=1), out=pred_indptr[1:])
+
+    # Successors = the transpose: stable sort of edges by target keeps
+    # the source order ascending within each group, matching
+    # ``_finish``'s ``succ_lists[j].append(i)`` with ``i`` ascending.
+    order = np.argsort(pred_dense, kind="stable")
+    succ = edge_src[order]
+    succ_indptr = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(np.bincount(pred_dense, minlength=total), out=succ_indptr[1:])
+
+    return ScheduleGraph(
+        problem=problem,
+        fingerprint=token,
+        ops=None,
+        kind=tuple(kind.tolist()),
+        cell=tuple(cell.tolist()),
+        gemm=tuple(gemm.tolist()),
+        stage=tuple(stage.tolist()),
+        pos=tuple(pos.tolist()),
+        stage_bounds=stage_bounds,
+        pred_indptr=tuple(pred_indptr.tolist()),
+        pred=tuple(pred_dense.tolist()),
+        pred_cross=tuple(pred_cross.tolist()),
+        succ_indptr=tuple(succ_indptr.tolist()),
+        succ=tuple(succ.tolist()),
+        ops_factory=ops_factory,
+    )
+
+
+def _finish(
+    problem: PipelineProblem,
+    token: int,
+    ops: list[OpId],
+    kind_arr: list[int],
+    cell_arr: list[int],
+    gemm_arr: list[int],
+    stage_arr: list[int],
+    pos_arr: list[int],
+    stage_bounds: list[tuple[int, int]],
+    dense_of: list[int],
+    cells: int,
+    chunks: int,
+    s: int,
+) -> ScheduleGraph:
+    """Edge tables + assembly shared by :func:`_compile` and
+    :func:`graph_from_codes` (predecessor order matches
+    ``PipelineProblem.deps``; successors are its transpose)."""
     num_ops = len(ops)
     pred_indptr: list[int] = [0]
     pred_list: list[int] = []

@@ -102,6 +102,58 @@ def op_cost_fns(
     return duration, comm_time, act_units
 
 
+def cost_key_table_fingerprint(
+    problem: PipelineProblem, cost: CostModel
+) -> tuple[float, ...] | None:
+    """The cost *key tables* the greedy generator reads, as a flat tuple.
+
+    The generator's output is a deterministic function of the problem,
+    the policy, and the duration/comm values it probes.  For a
+    micro-batch-invariant model those values are fully described by a
+    table over (kind, slice, chunk[, gemm]) plus one comm value per
+    intra-micro-batch dependency edge shape — this function probes
+    exactly that set, in a fixed order, so two cost models with equal
+    fingerprints are indistinguishable *to the generator* (they may
+    still differ on ``act_units``, which the generator never reads —
+    callers caring about activation accounting must not key on this).
+    Returns ``None`` for models that are not micro-batch-invariant:
+    their per-op values cannot be summarized this way, so callers (the
+    generation cache) must decline to share constructions.
+    """
+    if not getattr(cost, "microbatch_invariant", False):
+        return None
+    dur_fn, comm_fn, _act_fn = op_cost_fns(cost)
+    s = problem.num_slices
+    chunks = problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms
+    out: list[float] = []
+    for sl in range(s):
+        for c in range(chunks):
+            f = OpId(OpKind.F, 0, sl, c)
+            b = OpId(OpKind.B, 0, sl, c)
+            out.append(dur_fn(f))
+            out.append(dur_fn(b))
+            # Comm values per dependency edge of this cell, in
+            # PipelineProblem.deps order (every edge the generator can
+            # probe is intra-micro-batch).
+            if c > 0:
+                out.append(comm_fn(OpId(OpKind.F, 0, sl, c - 1), f))
+            if sl > 0:
+                out.append(comm_fn(OpId(OpKind.F, 0, sl - 1, c), f))
+            out.append(comm_fn(f, b))
+            if c < chunks - 1:
+                out.append(comm_fn(OpId(OpKind.B, 0, sl, c + 1), b))
+            if sl < s - 1:
+                out.append(comm_fn(OpId(OpKind.B, 0, sl + 1, c), b))
+            if split:
+                for g in range(gemms):
+                    w = OpId(OpKind.W, 0, sl, c, g)
+                    out.append(dur_fn(w))
+                    out.append(comm_fn(b, w))
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class UniformCost:
     """Unit-time cost model for schedule-structure analysis.

@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass
 
 from repro.schedules.base import OpId, Schedule, ScheduleError
+from repro.schedules.greedy import ARRIVAL_EPS
 from repro.sim.executor import OpRecord, SimResult, StageMetrics, _Ledger
 
 
@@ -147,13 +148,15 @@ def simulate_with_network(
         if not events:
             raise ScheduleError("network replay deadlock")
         now, _tie, stage = heapq.heappop(events)
-        if now + 1e-12 < stage_free[stage]:
+        # Same arrival/busy tolerance as the greedy generator's event
+        # loop (see the ARRIVAL_EPS invariant note in schedules.greedy).
+        if now + ARRIVAL_EPS < stage_free[stage]:
             continue
         if heads[stage] >= len(programs[stage]):
             continue
         op = programs[stage][heads[stage]]
         t = ready_time(op)
-        if t is None or t > now + 1e-12:
+        if t is None or t > now + ARRIVAL_EPS:
             continue  # a later event will retry
         start = max(stage_free[stage], t)
         dur = cost.duration(op)
