@@ -7,6 +7,7 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     mypy src/repro/schedules src/repro/nn
     mypy --strict src/repro/analysis
     mypy --strict src/repro/analysis/evaluate
+    mypy --strict src/repro/analysis/capacity
     mypy --strict src/repro/obs
     mypy --strict src/repro/pipeline
     mypy --strict src/repro/schedules/greedy.py src/repro/schedules/gencache.py src/repro/schedules/graph.py
@@ -17,7 +18,8 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
 import nox
 
 nox.options.sessions = [
-    "lint", "analysis", "evaluate", "generate", "obs", "pipeline", "tests",
+    "lint", "analysis", "evaluate", "capacity", "generate", "obs",
+    "pipeline", "tests",
 ]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
@@ -63,6 +65,27 @@ def evaluate(session: nox.Session) -> None:
         "tests/test_engine_golden.py",
         "tests/test_evaluate.py",
         "tests/test_evaluate_mutations.py",
+    )
+
+
+@nox.session
+def capacity(session: nox.Session) -> None:
+    """The capacity-analyzer gate: strict typing plus its proof suite.
+
+    The analyzer's claims are soundness (bounded sim at the inferred
+    deadlock-free capacities completes, or a CP001 witness names the
+    saturated channel) and exactness (bounded analytic replay ==
+    bounded event sim, bit for bit); the gate runs the grid soundness
+    suite, the seeded CP-rule mutation tests, and strict typing over
+    the pass plus the pipeline modules it gates.
+    """
+    session.install("-e", ".[test,lint]")
+    session.run("mypy", "--strict", "src/repro/analysis/capacity",
+                "src/repro/pipeline")
+    session.run(
+        "python", "-m", "pytest", "-x", "-q",
+        "tests/test_capacity.py",
+        "tests/test_capacity_mutations.py",
     )
 
 

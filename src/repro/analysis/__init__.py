@@ -9,9 +9,24 @@ the CLI.
 
 The :mod:`repro.analysis.evaluate` subpackage extends the tier with the
 analytic schedule evaluator: certified closed-form timing/memory (EV
-rules, ``python -m repro evaluate``, ``docs/evaluation.md``).
+rules, ``python -m repro evaluate``, ``docs/evaluation.md``), and
+:mod:`repro.analysis.capacity` adds bounded-channel certification:
+slot-reuse deadlock proofs, minimal ring-size inference, and
+backpressure analysis (CP rules, ``python -m repro capacity``,
+``docs/verification.md``).
 """
 
+from repro.analysis.capacity import (
+    CAPACITY_RULES,
+    CapacityCertificate,
+    CapacityPlan,
+    ChannelCapacity,
+    certify_capacities,
+    check_capacities,
+    cross_validate_capacities,
+    infer_capacities,
+    ring_bytes_per_stage,
+)
 from repro.analysis.core import (
     ModelAnalysisError,
     analyze_model,
@@ -43,7 +58,11 @@ from repro.analysis.ir import (
     PartitionSpec,
     SymTensor,
 )
-from repro.analysis.memory import StageMemory, infer_stage_memory
+from repro.analysis.memory import (
+    StageMemory,
+    infer_channel_buffers,
+    infer_stage_memory,
+)
 from repro.analysis.program import ModelProgram, TaskRef, build_program
 from repro.analysis.rules import (
     COVERAGE_RULES,
@@ -54,12 +73,16 @@ from repro.analysis.rules import (
 from repro.analysis.shapes import check_shapes
 
 __all__ = [
+    "CAPACITY_RULES",
     "COVERAGE_RULES",
     "EVALUATE_RULES",
     "HAZARD_RULES",
     "MODEL_RULES",
     "SHAPE_RULES",
     "AnalyticEvaluation",
+    "CapacityCertificate",
+    "CapacityPlan",
+    "ChannelCapacity",
     "ChunkSpec",
     "ComponentSpec",
     "EvalCertificate",
@@ -74,12 +97,17 @@ __all__ = [
     "analyze_partition",
     "analyze_spec",
     "build_program",
+    "certify_capacities",
+    "check_capacities",
     "check_coverage",
     "check_hazards",
     "check_shapes",
     "component_spec",
+    "cross_validate_capacities",
     "ensure_model_verified",
     "evaluate_schedule",
+    "infer_capacities",
+    "infer_channel_buffers",
     "infer_stage_memory",
     "interface_report",
     "iteration_time_bounds",
@@ -87,4 +115,5 @@ __all__ = [
     "partition_from_model",
     "partition_from_spec",
     "peak_units_floor",
+    "ring_bytes_per_stage",
 ]

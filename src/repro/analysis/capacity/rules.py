@@ -1,0 +1,67 @@
+"""The capacity analyzer's rule family (CP001-CP004).
+
+Registered in the shared diagnostics catalogue
+(:mod:`repro.schedules.verify.diagnostics`) so capacity findings render
+and filter exactly like the verifier's ST/DL/CH rules and the
+evaluator's EV rules: same ``Finding``/``Report`` shapes, same
+``--rules`` selection, same text/JSON output.
+
+``CAPACITY_VERSION`` is folded into planner sweep-cache fingerprints
+(:mod:`repro.planner.parallel`); bump it whenever the inference or
+certification semantics change so cached rows can never alias across
+analyzer versions.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.verify.diagnostics import Rule, Severity, register_rules
+
+#: Version of the capacity inference/certification semantics; part of
+#: every planner sweep-cache fingerprint.
+CAPACITY_VERSION: int = 1
+
+#: Rule ids this analyzer can file, in catalogue order.
+CAPACITY_RULES: tuple[str, ...] = ("CP001", "CP002", "CP003", "CP004")
+
+register_rules(
+    Rule(
+        "CP001",
+        "bounded-channel deadlock",
+        Severity.ERROR,
+        "Under the configured ring capacities the schedule deadlocks: "
+        "adding one slot-reuse edge per in-flight message beyond each "
+        "channel's capacity (send #i cannot start before recv #(i-K) "
+        "completes) makes the dependency + program-order graph cyclic. "
+        "The witness is a minimal blocking cycle naming the saturated "
+        "channel.",
+    ),
+    Rule(
+        "CP002",
+        "invalid channel capacity",
+        Severity.ERROR,
+        "A configured capacity is unusable: a message-carrying channel "
+        "was given fewer than one slot, no capacity at all, or a "
+        "capacity was configured for a channel the schedule never "
+        "sends on.",
+    ),
+    Rule(
+        "CP003",
+        "channel backpressure",
+        Severity.WARNING,
+        "The configured capacities are deadlock-free but lengthen the "
+        "critical path: the analytic makespan on the slot-augmented "
+        "graph exceeds the unbounded-channel makespan. The witness "
+        "shows the slowdown and every channel sized below its inferred "
+        "backpressure-free capacity.",
+    ),
+    Rule(
+        "CP004",
+        "capacity certificate divergence",
+        Severity.ERROR,
+        "A capacity certificate failed re-validation: its recorded "
+        "makespans do not reproduce bit-for-bit from the slot-augmented "
+        "graph, its backpressure-free claim is false, or the bounded "
+        "event simulation disagrees with the analytic max-plus times at "
+        "the certified capacities.",
+    ),
+)

@@ -23,6 +23,14 @@ the default :data:`NULL_SINK` keeps uninstrumented runs free.
 from __future__ import annotations
 
 from repro.analysis import analyze_spec as check_model
+from repro.analysis.capacity import (
+    CapacityCertificate,
+    CapacityPlan,
+    certify_capacities,
+    check_capacities,
+    cross_validate_capacities,
+    infer_capacities,
+)
 from repro.analysis.evaluate import (
     AnalyticEvaluation,
     TimeBounds,
@@ -65,6 +73,8 @@ from repro.sim.crossval import cross_validate
 
 __all__ = [
     "AnalyticEvaluation",
+    "CapacityCertificate",
+    "CapacityPlan",
     "ChromeTraceSink",
     "ClusterCost",
     "ClusterSpec",
@@ -94,13 +104,17 @@ __all__ = [
     "build_model",
     "build_problem",
     "build_schedule",
+    "certify_capacities",
+    "check_capacities",
     "check_model",
     "chrome_trace",
     "cross_validate",
+    "cross_validate_capacities",
     "evaluate_config",
     "evaluate_schedule",
     "get_cluster",
     "get_model",
+    "infer_capacities",
     "iteration_metrics",
     "iteration_time_bounds",
     "plan",

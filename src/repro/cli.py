@@ -9,9 +9,16 @@ Commands:
 * ``verify <method>`` — statically verify a generated schedule
   (placement, coverage, deadlock witnesses, channel order, activation
   liveness, Table 3 closed-form agreement); exits non-zero on errors.
+  ``--capacity`` additionally certifies bounded-channel deadlock
+  freedom at the inferred minimal ring sizes (CP rules).
 * ``check-model <method|grid>`` — statically analyze the (model
   partition, schedule) pair (shape/interface inference, gradient
   coverage, happens-before hazards); exits non-zero on errors.
+  ``--capacity`` folds the CP rule family into each report.
+* ``capacity <method>`` — infer per-channel ring capacities (minimal
+  deadlock-free and backpressure-free), certify them, and print the
+  plan + CP diagnostics; ``--check`` cross-validates the certificate
+  against the bounded-channel simulator (CP004).
 * ``plan <model> <gbs>`` — grid-search every method and print the
   winners (routed through the analytic first pass).
 * ``evaluate <method>`` — analytically evaluate a generated schedule
@@ -280,10 +287,30 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _merge_capacity_findings(
+    report: "Report", schedule: "Schedule", rules: list[str] | None
+) -> None:
+    """Fold the CP rule family into a verifier/analyzer report in place
+    (same catalogue, so findings render and filter uniformly)."""
+    from repro.analysis.capacity import check_capacities
+
+    cp = check_capacities(schedule)
+    report.findings.extend(
+        f for f in cp.findings if rules is None or f.rule_id in rules
+    )
+    report.checked_rules = tuple(report.checked_rules) + tuple(
+        r for r in cp.checked_rules if rules is None or r in rules
+    )
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.capacity import CAPACITY_RULES
     from repro.schedules.verify import ALL_RULES, verify_schedule
 
-    rules, error = _selected_rules(args, ALL_RULES)
+    known = tuple(ALL_RULES)
+    if args.capacity:
+        known += tuple(CAPACITY_RULES)
+    rules, error = _selected_rules(args, known)
     if error:
         print(error)
         return 2
@@ -291,16 +318,25 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if schedule is None:
         assert status is not None
         return status
-    report = verify_schedule(schedule, method=args.method, rules=rules)
+    verify_rules = (
+        None if rules is None else [r for r in rules if r in ALL_RULES]
+    )
+    report = verify_schedule(schedule, method=args.method, rules=verify_rules)
+    if args.capacity:
+        _merge_capacity_findings(report, schedule, rules)
     return _emit_reports([report], args)
 
 
 def _cmd_check_model(args: argparse.Namespace) -> int:
     from repro.analysis import MODEL_RULES, analyze_spec
+    from repro.analysis.capacity import CAPACITY_RULES
     from repro.model import get_model
     from repro.model.spec import tiny_spec
 
-    rules, error = _selected_rules(args, MODEL_RULES)
+    known = tuple(MODEL_RULES)
+    if args.capacity:
+        known += tuple(CAPACITY_RULES)
+    rules, error = _selected_rules(args, known)
     if error:
         print(error)
         return 2
@@ -324,13 +360,19 @@ def _cmd_check_model(args: argparse.Namespace) -> int:
     else:
         setups = [(args.method, {})]
 
+    model_rules = (
+        None if rules is None else [r for r in rules if r in MODEL_RULES]
+    )
     reports = []
     for method, overrides in setups:
         schedule, status = _build_for_cli(args, method, **overrides)
         if schedule is None:
             assert status is not None
             return status
-        reports.append(analyze_spec(spec, schedule, rules=rules))
+        report = analyze_spec(spec, schedule, rules=model_rules)
+        if args.capacity:
+            _merge_capacity_findings(report, schedule, rules)
+        reports.append(report)
     return _emit_reports(reports, args)
 
 
@@ -404,6 +446,76 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 f"{bounds.upper:.6g}] s"
             )
     return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.analysis.capacity import (
+        CAPACITY_RULES,
+        certify_capacities,
+        check_capacities,
+        cross_validate_capacities,
+        infer_capacities,
+    )
+    from repro.schedules import ScheduleError
+    from repro.schedules.verify.diagnostics import Report
+    from repro.sim import UniformCost
+
+    rules, error = _selected_rules(args, CAPACITY_RULES)
+    if error:
+        print(error)
+        return 2
+    schedule, status = _build_for_cli(args, args.method)
+    if schedule is None:
+        assert status is not None
+        return status
+    cost = UniformCost(schedule.problem, tw=args.tw)
+    try:
+        plan = infer_capacities(schedule, cost)
+    except ScheduleError as exc:
+        print(exc)
+        return 1
+    certificate = None
+    if args.check:
+        certificate = certify_capacities(schedule, cost, mode=args.mode)
+        report = cross_validate_capacities(schedule, cost, certificate)
+    else:
+        report = check_capacities(
+            schedule, capacities=plan.capacities(args.mode), cost=cost
+        )
+    if rules is not None:
+        report = Report(
+            schedule_name=report.schedule_name,
+            findings=[f for f in report.findings if f.rule_id in rules],
+            checked_rules=tuple(
+                r for r in report.checked_rules if r in rules
+            ),
+        )
+    if args.json or args.format == "json":
+        payload = plan.to_dict()
+        payload["mode"] = args.mode
+        payload["report"] = report.to_dict()
+        if certificate is not None:
+            payload["certificate"] = certificate.to_dict()
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"capacity plan for {schedule.name} (mode: {args.mode}):")
+        for channel in plan.channels:
+            print(f"  {channel.describe()}")
+        if plan.unbounded_makespan is not None:
+            print(f"  unbounded makespan: {plan.unbounded_makespan:.6g}")
+        if certificate is not None:
+            state = (
+                "backpressure-free"
+                if certificate.backpressure_free
+                else "backpressured"
+            )
+            print(
+                f"  certificate: makespan {certificate.makespan:.6g} "
+                f"({state}), cross-validated against the bounded simulator"
+            )
+        print()
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -481,6 +593,9 @@ def _configure_verify(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("method")
     _shape_flags(parser)
     _report_flags(parser)
+    parser.add_argument("--capacity", action="store_true",
+                        help="also certify bounded-channel deadlock freedom "
+                             "at the inferred minimal ring sizes (CP rules)")
 
 
 def _configure_check_model(parser: argparse.ArgumentParser) -> None:
@@ -491,6 +606,24 @@ def _configure_check_model(parser: argparse.ArgumentParser) -> None:
                         help="model spec: tiny / 7b / 13b / 34b")
     _shape_flags(parser)
     _report_flags(parser)
+    parser.add_argument("--capacity", action="store_true",
+                        help="fold the bounded-channel CP rule family into "
+                             "each report")
+
+
+def _configure_capacity(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("method")
+    _shape_flags(parser)
+    _report_flags(parser)
+    parser.add_argument("--tw", type=float, default=1.0,
+                        help="weight-gradient time (split methods)")
+    parser.add_argument("--mode",
+                        choices=("deadlock-free", "backpressure-free", "full"),
+                        default="backpressure-free",
+                        help="which inferred capacity vector to certify")
+    parser.add_argument("--check", action="store_true",
+                        help="cross-validate the certificate against the "
+                             "bounded-channel event simulator (CP004)")
 
 
 def _configure_plan(parser: argparse.ArgumentParser) -> None:
@@ -558,6 +691,9 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
     Subcommand("evaluate",
                "analytically evaluate a schedule (certified closed forms)",
                _configure_evaluate, _cmd_evaluate),
+    Subcommand("capacity",
+               "infer and certify bounded-channel ring capacities (CP rules)",
+               _configure_capacity, _cmd_capacity),
     Subcommand("trace",
                "export a combined sim + runtime Chrome/Perfetto trace",
                _configure_trace, _cmd_trace),

@@ -20,16 +20,22 @@ so no shared counter is needed.  The protocol object is ``spawn``-safe:
 it is pickled into each worker via ``Process`` args (semaphores cannot
 travel over queues), and workers re-attach to the segment by name.
 
-Every blocking operation takes a timeout and raises
+Every blocking operation takes a timeout (default
+:data:`DEFAULT_CHANNEL_TIMEOUT`, overridable via the
+``REPRO_CHANNEL_TIMEOUT`` environment variable) and raises
 :class:`~repro.schedules.base.ScheduleError` on expiry, so a dead peer
-surfaces as a diagnosable error instead of a hang.  By default each
-channel is sized to hold *every* message it will ever carry, which
-makes sends non-blocking and excludes the bounded-buffer deadlocks the
-static verifier does not model.
+surfaces as a diagnosable error instead of a hang.  Ring sizes are
+chosen by the capacity analyzer (:mod:`repro.analysis.capacity`): the
+parallel runtime allocates each ring at its certified minimal
+deadlock-free capacity by default, falling back to one-slot-per-message
+(``capacity_mode="full"``) which makes sends non-blocking.  Bounded
+rings can deadlock a schedule the unbounded verifier accepts — rule
+CP001 proves per-configuration that they do not.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from multiprocessing.shared_memory import SharedMemory
@@ -40,6 +46,37 @@ import numpy as np
 from repro.schedules.base import OpId, ScheduleError
 
 Array = np.ndarray[Any, np.dtype[Any]]
+
+#: Default seconds any single blocking pipeline step (channel send or
+#: recv, start barrier, result collection) may take before the run is
+#: aborted with a :class:`ScheduleError`.  Override per-process with
+#: the ``REPRO_CHANNEL_TIMEOUT`` environment variable (positive float,
+#: in seconds) — e.g. raise it on heavily oversubscribed CI machines.
+DEFAULT_CHANNEL_TIMEOUT: float = 60.0
+
+
+def default_channel_timeout() -> float:
+    """The blocking-step timeout, honoring ``REPRO_CHANNEL_TIMEOUT``.
+
+    Raises :class:`ScheduleError` on a malformed or non-positive
+    override so a typo'd knob fails loudly instead of silently running
+    with the default.
+    """
+    raw = os.environ.get("REPRO_CHANNEL_TIMEOUT")
+    if raw is None:
+        return DEFAULT_CHANNEL_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ScheduleError(
+            f"REPRO_CHANNEL_TIMEOUT={raw!r} is not a number"
+        ) from None
+    if value <= 0.0:
+        raise ScheduleError(
+            f"REPRO_CHANNEL_TIMEOUT must be a positive number of "
+            f"seconds, got {raw!r}"
+        )
+    return value
 
 #: Per-slot header: (microbatch, slice, chunk, ndim, d0, d1, d2, d3,
 #: dtype code, payload nbytes) as int64 — 80 bytes, padded to 128.

@@ -31,6 +31,14 @@ reference **bit for bit**:
   boundary tensors, and wgrad closures are computed from identical
   inputs in identical order.
 
+Ring sizing is capacity-certified: before any worker spawns, the
+schedule's per-channel slot counts pass through
+:mod:`repro.analysis.capacity` (``capacity_mode="auto"`` allocates the
+inferred minimal deadlock-free capacities; ``"full"`` restores
+one-slot-per-message non-blocking sends) and a CP001/CP002 failure
+aborts the run with the analyzer's minimal-cycle witness instead of
+wedging live processes on saturated rings.
+
 Failure handling: every blocking primitive carries a timeout, workers
 report exceptions (with traceback) through the result queue, and the
 parent converts a dead/stalled worker into a :class:`ScheduleError`
@@ -47,6 +55,7 @@ import queue as queue_mod
 import secrets
 import time
 import traceback
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -56,7 +65,13 @@ from repro.nn.layers import Component
 from repro.nn.model import TransformerModel
 from repro.obs.events import NULL_SINK, EventSink
 from repro.obs.metrics import CommLog
-from repro.pipeline.channels import ChannelKey, ChannelProtocol, create_channel
+from repro.pipeline.channels import (
+    _HEADER_BYTES,
+    ChannelKey,
+    ChannelProtocol,
+    create_channel,
+    default_channel_timeout,
+)
 from repro.pipeline.runtime import RunResult, StageStats, _preflight
 from repro.pipeline.stage import StageExecutor
 from repro.schedules.base import OpId, OpKind, PipelineProblem, Schedule, ScheduleError
@@ -290,7 +305,9 @@ class ParallelPipelineRuntime:
         targets: ``(n, B, T)`` labels.
         timeout: Seconds any single blocking step (channel send/recv,
             start barrier, result collection) may take before the run
-            is aborted with a :class:`ScheduleError`.
+            is aborted with a :class:`ScheduleError`.  Defaults to
+            :func:`~repro.pipeline.channels.default_channel_timeout`,
+            which honors the ``REPRO_CHANNEL_TIMEOUT`` env knob.
     """
 
     def __init__(
@@ -299,12 +316,12 @@ class ParallelPipelineRuntime:
         tokens: Array,
         targets: Array,
         *,
-        timeout: float = 60.0,
+        timeout: float | None = None,
     ):
         self.model = model
         self.tokens = tokens
         self.targets = targets
-        self.timeout = timeout
+        self.timeout = default_channel_timeout() if timeout is None else timeout
         n, batch, seqlen = tokens.shape
         self.num_microbatches = int(n)
         self.batch = int(batch)
@@ -312,39 +329,100 @@ class ParallelPipelineRuntime:
         model.head.loss_scale = 1.0 / (n * batch * seqlen)
 
     # ------------------------------------------------------------------
-    def _build_channels(
-        self, problem: PipelineProblem, ctx: "SpawnContext"
-    ) -> tuple[dict[ChannelKey, ChannelProtocol], list["SharedMemory"]]:
-        """One ring per directed cross-stage ``(src, dst, kind)`` edge.
-
-        Each channel is sized to its total message count, so sends
-        never block (see :mod:`repro.pipeline.channels`); the slot
-        payload is one boundary tensor — ``(B, T/s, hidden)`` float64.
-        """
-        per_boundary = problem.num_microbatches * problem.num_slices
-        payload_bytes = (
+    def _payload_bytes(self, problem: PipelineProblem) -> int:
+        """Bytes of one ring slot's payload — a ``(B, T/s, hidden)``
+        float64 boundary tensor."""
+        return int(
             self.batch
             * (self.seq_length // problem.num_slices)
             * self.model.spec.hidden_size
             * np.dtype(np.float64).itemsize
         )
-        counts: dict[ChannelKey, int] = {}
-        for c in range(problem.num_chunks - 1):
-            src, dst = problem.stage_of_chunk(c), problem.stage_of_chunk(c + 1)
-            if src == dst:
-                continue
-            fwd = ChannelKey(src, dst, "F")
-            bwd = ChannelKey(dst, src, "B")
-            counts[fwd] = counts.get(fwd, 0) + per_boundary
-            counts[bwd] = counts.get(bwd, 0) + per_boundary
+
+    def resolve_capacities(
+        self,
+        schedule: Schedule,
+        capacity_mode: str | Mapping[Any, int] = "auto",
+    ) -> dict[tuple[int, int, str], int]:
+        """Resolve and certify per-channel ring capacities — the spawn gate.
+
+        ``capacity_mode`` is ``"auto"`` (the analyzer's minimal
+        deadlock-free capacities), ``"full"`` (one slot per message:
+        sends never block, the pre-capacity-analysis sizing), or an
+        explicit ``{(src, dst, kind): slots}`` mapping (``ChannelKey``
+        keys accepted).  Whatever the source, the result is certified
+        by :func:`repro.analysis.capacity.check_capacities`; the
+        runtime refuses to spawn workers under capacities that are not
+        provably deadlock-free (CP001/CP002).
+        """
+        from repro.analysis.capacity import (
+            check_capacities,
+            infer_capacities,
+            normalize_capacities,
+        )
+
+        if isinstance(capacity_mode, str):
+            plan = infer_capacities(schedule)
+            if capacity_mode == "auto":
+                caps = plan.capacities("deadlock-free")
+            elif capacity_mode == "full":
+                caps = plan.capacities("full")
+            else:
+                raise ScheduleError(
+                    f"unknown capacity_mode {capacity_mode!r} "
+                    "(expected 'auto', 'full', or a capacity mapping)"
+                )
+        else:
+            caps = normalize_capacities(capacity_mode)
+        report = check_capacities(schedule, capacities=caps)
+        if not report.ok:
+            raise ScheduleError(
+                "parallel pipeline runtime refused to spawn: ring "
+                "capacities are not certified deadlock-free\n"
+                + report.render_text()
+            )
+        return caps
+
+    def plan_channels(
+        self,
+        schedule: Schedule,
+        *,
+        capacity_mode: str | Mapping[Any, int] = "auto",
+    ) -> tuple[dict[ChannelKey, int], int]:
+        """Certified ring sizing without spawning anything.
+
+        Returns ``({channel: slots}, total shared-memory bytes)`` —
+        the exact segments :meth:`run` would allocate under
+        ``capacity_mode``, each slot costing header + payload bytes.
+        """
+        caps = self.resolve_capacities(schedule, capacity_mode)
+        slot_bytes = _HEADER_BYTES + self._payload_bytes(schedule.problem)
+        slots = {
+            ChannelKey(src, dst, kind): k
+            for (src, dst, kind), k in sorted(caps.items())
+        }
+        return slots, sum(k * slot_bytes for k in slots.values())
+
+    def _build_channels(
+        self,
+        problem: PipelineProblem,
+        ctx: "SpawnContext",
+        slots: dict[ChannelKey, int],
+    ) -> tuple[dict[ChannelKey, ChannelProtocol], list["SharedMemory"]]:
+        """One ring per directed cross-stage ``(src, dst, kind)`` edge,
+        sized to the certified slot counts from
+        :meth:`resolve_capacities`; the slot payload is one boundary
+        tensor — ``(B, T/s, hidden)`` float64."""
+        payload_bytes = self._payload_bytes(problem)
         prefix = f"repro{os.getpid() % 100000}x{secrets.token_hex(2)}"
         channels: dict[ChannelKey, ChannelProtocol] = {}
         segments: list[SharedMemory] = []
-        for serial, (key, slots) in enumerate(sorted(
-            counts.items(), key=lambda kv: (kv[0].src_stage, kv[0].dst_stage, kv[0].kind)
+        for serial, (key, count) in enumerate(sorted(
+            slots.items(),
+            key=lambda kv: (kv[0].src_stage, kv[0].dst_stage, kv[0].kind),
         )):
             protocol, shm = create_channel(
-                key, slots, payload_bytes, ctx, prefix, serial
+                key, count, payload_bytes, ctx, prefix, serial
             )
             channels[key] = protocol
             segments.append(shm)
@@ -357,6 +435,7 @@ class ParallelPipelineRuntime:
         sink: EventSink = NULL_SINK,
         *,
         fault: FaultSpec | None = None,
+        capacity_mode: str | Mapping[Any, int] = "auto",
     ) -> RunResult:
         """Execute one iteration under ``schedule`` across worker
         processes; returns a :class:`RunResult` with
@@ -366,9 +445,16 @@ class ParallelPipelineRuntime:
         runtime's do (workers start from the model's current gradient
         buffers and the merged results replace them).
 
+        ``capacity_mode`` selects ring sizing (see
+        :meth:`resolve_capacities`); workers only spawn once the
+        chosen capacities are certified deadlock-free, and each
+        stage's pinned ring bytes land in
+        ``StageStats.channel_buffer_bytes``.
+
         ``fault`` is a test hook — see :class:`FaultSpec`.
         """
         problem = _preflight(self, schedule, "parallel pipeline runtime")
+        slots, _ = self.plan_channels(schedule, capacity_mode=capacity_mode)
         num_stages = problem.num_stages
         chunks = self.model.partition(problem.num_chunks)
         component_index: dict[int, list[int]] = {}
@@ -378,7 +464,7 @@ class ParallelPipelineRuntime:
             offset += len(comps)
 
         ctx = mp.get_context("spawn")
-        channels, segments = self._build_channels(problem, ctx)
+        channels, segments = self._build_channels(problem, ctx, slots)
         barrier = ctx.Barrier(num_stages)
         results: Any = ctx.Queue()
         workers: list[Any] = []
@@ -431,6 +517,19 @@ class ParallelPipelineRuntime:
                     pass
             results.close()
             results.join_thread()
+
+        # Charge each stage the ring bytes it pins as a consumer — the
+        # shm footprint the capacity plan bought (or saved).
+        from repro.analysis.capacity import ring_bytes_per_stage
+
+        slot_bytes = _HEADER_BYTES + self._payload_bytes(problem)
+        ring_bytes = ring_bytes_per_stage(
+            {(k.src_stage, k.dst_stage, k.kind): n for k, n in slots.items()},
+            num_stages,
+            slot_bytes,
+        )
+        for report in reports:
+            report.stats.channel_buffer_bytes = ring_bytes[report.stage]
 
         return self._merge(schedule, problem, reports, sink)
 

@@ -59,6 +59,12 @@ class StageStats:
     channel): the former is time spent blocked on a channel receive,
     the latter is W-op compute performed *while* such a receive was
     pending — the paper's comm/wgrad overlap, as a wall-clock quantity.
+
+    ``channel_buffer_bytes`` is the shared-memory ring footprint this
+    stage pins as a *consumer* (slots × (header + payload) summed over
+    its incoming channels), stamped by the parallel runtime from the
+    capacity plan it allocated rings under; zero for serial runs,
+    which use in-process mailboxes.
     """
 
     stage: int
@@ -69,6 +75,7 @@ class StageStats:
     busy_seconds: float = 0.0
     wait_seconds: float = 0.0
     overlap_w_seconds: float = 0.0
+    channel_buffer_bytes: int = 0
 
 
 @dataclass

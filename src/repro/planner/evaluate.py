@@ -59,6 +59,18 @@ class EvalResult:
     #: way; the tier records provenance and keys the sweep cache so the
     #: tiers never alias.
     tier: str = "sim"
+    #: Channel-buffer ledger (see :mod:`repro.analysis.capacity`): the
+    #: ring-sizing mode the memory charge assumed (``"none"`` skips the
+    #: ledger entirely), the worst stage's pinned ring bytes (folded
+    #: into ``peak_memory_bytes`` and the OOM check), the total ring
+    #: slots across channels, and whether the charged capacities are
+    #: certified backpressure-free (no critical-path lengthening vs
+    #: unbounded channels — always true for mode "backpressure-free",
+    #: informative for "deadlock-free").
+    capacity_mode: str = "none"
+    channel_buffer_bytes: int = 0
+    channel_slots: int = 0
+    backpressure_free: bool = True
 
     @property
     def peak_memory_gib(self) -> float:
@@ -109,6 +121,7 @@ def evaluate_config(
     forwards_before_first_backward: int | None = None,
     auto_select_variant: bool = True,
     tier: str = "sim",
+    capacity_mode: str = "backpressure-free",
 ) -> EvalResult:
     """Evaluate one configuration; never raises for OOM (returns it).
 
@@ -124,6 +137,18 @@ def evaluate_config(
     bubble ratio, and memory — the tiered grid search uses it for the
     cheap first pass and re-evaluates only the Pareto frontier at
     ``"sim"`` provenance.
+
+    ``capacity_mode`` sets the channel-buffer ledger: ring bytes at the
+    inferred per-channel capacities of that mode
+    (:func:`repro.analysis.capacity.infer_capacities`) are charged to
+    the peak-memory figure and the OOM check.  The default,
+    ``"backpressure-free"``, is the sizing consistent with the reported
+    iteration time — the smallest rings that leave the unbounded-channel
+    critical path intact; ``"deadlock-free"`` charges the absolute
+    minimum rings (iteration time may then understate a bounded run),
+    and ``"none"`` skips the ledger (pre-capacity-analysis behavior).
+    The charge is conservative: the worst stage's ring bytes are added
+    to the shared per-stage budget.
     """
     traits = method_traits(method)
     vp = traits.fixed_vp or config.vp
@@ -192,6 +217,36 @@ def evaluate_config(
     act_bytes = int(result.peak_activation_units * cost.activation_bytes_per_unit())
     peak = budget.static + budget.temporary + budget.allocator_reserve + act_bytes
     peak += budget.framework_overhead
+
+    channel_bytes = 0
+    channel_slots = 0
+    backpressure_free = True
+    if capacity_mode != "none":
+        from repro.analysis.capacity import infer_capacities, ring_bytes_per_stage
+        from repro.pipeline.channels import _HEADER_BYTES
+
+        times = result.times if isinstance(result, AnalyticEvaluation) else None
+        # The deadlock-free coordinate descent is the analyzer's one
+        # expensive inference and the backpressure-free ledger never
+        # reads it — skip it unless that mode was asked for.
+        plan = infer_capacities(
+            schedule,
+            cost,
+            times=times,
+            include_deadlock_free=(capacity_mode == "deadlock-free"),
+        )
+        caps = plan.capacities(capacity_mode)
+        slot_bytes = _HEADER_BYTES + int(cost.boundary_message_bytes())
+        per_stage = ring_bytes_per_stage(caps, problem.num_stages, slot_bytes)
+        channel_bytes = max(per_stage, default=0)
+        channel_slots = sum(caps.values())
+        backpressure_free = all(
+            ch.backpressure_free is not None
+            and caps[ch.key] >= ch.backpressure_free
+            for ch in plan.channels
+        )
+        peak += channel_bytes
+
     oom = peak > cluster.gpu.memory_bytes
     tokens = global_batch_size * spec.seq_length
     flops = model_train_flops(spec, spec.seq_length) * global_batch_size
@@ -209,6 +264,10 @@ def evaluate_config(
         mfu=mfu,
         forwards_before_first_backward=f,
         tier=tier,
+        capacity_mode=capacity_mode,
+        channel_buffer_bytes=channel_bytes,
+        channel_slots=channel_slots,
+        backpressure_free=backpressure_free,
     )
 
 

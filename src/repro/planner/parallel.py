@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from pathlib import Path
 
+from repro.analysis.capacity.rules import CAPACITY_VERSION
 from repro.analysis.evaluate.rules import EVALUATOR_VERSION
 from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
@@ -47,9 +48,13 @@ from repro.schedules.base import ScheduleError
 #: Schema 2 added the evaluation tier (and the evaluator version) to
 #: both the fingerprint and the stored result.  Schema 3 folds the
 #: schedule generator's version into the fingerprint: generation moved
-#: to the array-native engine (repro.schedules.greedy), so entries
-#: computed by a different generator can never replay.
-CACHE_SCHEMA = 3
+#: to the array-native engine (repro.schedules.greedy, so entries
+#: computed by a different generator can never replay).  Schema 4 adds
+#: the channel-buffer ledger: the capacity mode and the capacity
+#: analyzer's version join the fingerprint (peak memory now includes
+#: ring bytes, so pre-capacity entries and entries across capacity
+#: modes can never alias).
+CACHE_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -59,6 +64,9 @@ class EvalTask:
     ``tier`` selects the evaluation tier (``"sim"`` or ``"analytic"``,
     see :func:`~repro.planner.evaluate.evaluate_config`); it is part of
     the cache fingerprint, so analytic and sim outcomes never alias.
+    ``capacity_mode`` selects the channel-buffer ledger the evaluation
+    charges (``"backpressure-free"``, ``"deadlock-free"``, or
+    ``"none"``) and is fingerprinted for the same reason.
     """
 
     method: str
@@ -67,6 +75,7 @@ class EvalTask:
     config: ParallelConfig
     global_batch_size: int
     tier: str = "sim"
+    capacity_mode: str = "backpressure-free"
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,11 @@ def eval_fingerprint(task: EvalTask) -> str:
         # Schedule construction happens inside the evaluation, so the
         # generation engine's version is part of the input too.
         "generator": gencache.GENERATOR_VERSION,
+        # The channel-buffer ledger changes peak memory (and therefore
+        # OOM verdicts): both the chosen mode and the capacity
+        # analyzer's version are part of the input.
+        "capacity_mode": task.capacity_mode,
+        "capacity": CAPACITY_VERSION,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return sha256(blob.encode()).hexdigest()
@@ -201,6 +215,7 @@ def _run_task(
             task.config,
             task.global_batch_size,
             tier=task.tier,
+            capacity_mode=task.capacity_mode,
         )
         outcome = EvalOutcome(result=result)
     except (ScheduleError, ValueError) as exc:

@@ -72,6 +72,7 @@ class ScheduleGraph:
         "succ_indptr",
         "succ",
         "_dense_plan",
+        "_capacity_tables",
     )
 
     def __init__(
@@ -113,6 +114,10 @@ class ScheduleGraph:
         # repro.analysis.evaluate.dense (topological order + height
         # depend only on the graph, never on the cost model).
         self._dense_plan: object | None = None
+        # Channel messages + minimal deadlock-free capacities, lazily
+        # built and cached by repro.analysis.capacity (also purely
+        # structural — cost models only affect backpressure analysis).
+        self._capacity_tables: object | None = None
 
     @property
     def ops(self) -> tuple[OpId, ...]:

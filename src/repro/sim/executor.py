@@ -31,8 +31,10 @@ it across the acceptance grid.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from typing import Any
 
 from repro.obs.events import NULL_SINK, EventSink
 from repro.obs.metrics import CommLog, IterationMetrics, schedule_comm_log
@@ -212,6 +214,7 @@ def simulate(
     actgrad_factor: float = 1.0,
     engine: str = "event",
     sink: EventSink = NULL_SINK,
+    channel_capacities: Mapping[Any, int] | None = None,
 ) -> SimResult:
     """Replay ``schedule`` under ``cost`` and collect metrics.
 
@@ -231,11 +234,24 @@ def simulate(
     memory-high-water counters.  The default null sink keeps the replay
     loop untouched: recording happens post-replay and only when the
     sink is enabled.
+
+    ``channel_capacities`` switches on the bounded-channel mode: each
+    cross-stage ``(src, dst, kind)`` channel holds at most K in-flight
+    messages, so a producer's #i-th send additionally waits for the
+    consumer to finish message #(i-K).  This mode has a single scalar
+    heap engine (``engine`` is ignored) and raises
+    :class:`ScheduleError` if the capacities deadlock the schedule —
+    ``repro.analysis.capacity`` turns the same situation into a
+    minimal-cycle CP001 witness.
     """
     from repro.schedules.verify import ensure_verified
 
     ensure_verified(schedule, context="simulate")
-    if engine == "event":
+    if channel_capacities is not None:
+        result = _simulate_bounded(
+            schedule, cost, overhead_time, actgrad_factor, channel_capacities
+        )
+    elif engine == "event":
         result = _simulate_dense(schedule, cost, overhead_time, actgrad_factor)
     elif engine == "heap":
         result = _simulate_event(schedule, cost, overhead_time, actgrad_factor)
@@ -451,6 +467,155 @@ def _schedule_ready(
     start[j] = t
     end[j] = t + duration[j]
     heappush(heap, (t, j))
+
+
+def _simulate_bounded(
+    schedule: Schedule,
+    cost: CostModel,
+    overhead_time: float,
+    actgrad_factor: float,
+    channel_capacities: Mapping[Any, int],
+) -> SimResult:
+    """Event-driven heap replay with finite channel capacities.
+
+    Mirrors :func:`_simulate_event` with one extra constraint family:
+    under capacity K on channel ``(src, dst, kind)``, the producer of
+    message #i also waits for the consumer of message #(i-K) to finish
+    (slot reuse; no transfer time is charged for reclaiming a slot).
+    IEEE ``max`` is exact and order-independent, so the times match the
+    analytic :func:`repro.analysis.capacity.bounded_dense_times` replay
+    bit-for-bit — the cross-check behind CP004 certificates.
+    """
+    from repro.analysis.capacity.core import (
+        _slot_edges,
+        channel_messages,
+        normalize_capacities,
+    )
+
+    problem = schedule.problem
+    graph = compiled_graph(schedule)
+    num_ops = graph.num_ops
+    ops = graph.ops
+    stage_arr = graph.stage
+    pos = graph.pos
+    pred_indptr, pred = graph.pred_indptr, graph.pred
+    succ_indptr, succ = graph.succ_indptr, graph.succ
+
+    caps = normalize_capacities(channel_capacities)
+    channels = channel_messages(graph)
+    bad = sorted(key for key in channels if caps.get(key, 0) < 1)
+    if bad:
+        listed = ", ".join(
+            f"stage {a} -> stage {b} ({kind})" for a, b, kind in bad
+        )
+        raise ScheduleError(
+            f"missing or sub-1 capacity for channel(s): {listed}"
+        )
+    slot_pred: dict[int, list[int]] = {}
+    slot_succ: dict[int, list[int]] = {}
+    for tail, head, _key in _slot_edges(channels, caps):
+        slot_pred.setdefault(head, []).append(tail)
+        slot_succ.setdefault(tail, []).append(head)
+
+    dur_fn, comm_fn, act_fn = op_cost_fns(cost)
+    duration = [dur_fn(op) for op in ops]
+    act_units = [act_fn(op) for op in ops]
+    comm = [0.0] * len(pred)
+    for i in range(num_ops):
+        op = ops[i]
+        for e in range(pred_indptr[i], pred_indptr[i + 1]):
+            comm[e] = comm_fn(ops[pred[e]], op)
+
+    # Indegree = dependency edges + implicit program-order edge + slot
+    # reclaims.
+    indeg = [0] * num_ops
+    for i in range(num_ops):
+        indeg[i] = (
+            pred_indptr[i + 1]
+            - pred_indptr[i]
+            + (1 if pos[i] > 0 else 0)
+            + len(slot_pred.get(i, ()))
+        )
+
+    start = [0.0] * num_ops
+    end = [0.0] * num_ops
+    heap: list[tuple[float, int]] = []
+
+    def finalize(j: int) -> None:
+        t = end[j - 1] if pos[j] > 0 else 0.0
+        for e in range(pred_indptr[j], pred_indptr[j + 1]):
+            ready = end[pred[e]] + comm[e]
+            if ready > t:
+                t = ready
+        for tail in slot_pred.get(j, ()):
+            freed = end[tail]
+            if freed > t:
+                t = freed
+        start[j] = t
+        end[j] = t + duration[j]
+        heappush(heap, (t, j))
+
+    for i in range(num_ops):
+        if indeg[i] == 0:
+            start[i] = 0.0
+            end[i] = duration[i]
+            heappush(heap, (0.0, i))
+
+    processed = 0
+    while heap:
+        _, i = heappop(heap)
+        processed += 1
+        for e in range(succ_indptr[i], succ_indptr[i + 1]):
+            j = succ[e]
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                finalize(j)
+        j = i + 1
+        if j < num_ops and stage_arr[j] == stage_arr[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                finalize(j)
+        for j in slot_succ.get(i, ()):
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                finalize(j)
+    if processed != num_ops:
+        stuck = [str(ops[i]) for i in range(num_ops) if indeg[i] > 0][:8]
+        raise ScheduleError(
+            "bounded-channel deadlock; blocked ops: "
+            f"{stuck} (run `repro capacity` for a minimal-cycle witness)"
+        )
+
+    records: dict[OpId, OpRecord] = {}
+    rec_lists: list[list[OpRecord]] = []
+    metrics: list[StageMetrics] = []
+    stage_ends: list[float] = []
+    for s, (lo, hi) in enumerate(graph.stage_bounds):
+        m = StageMetrics(stage=s)
+        ledger = _Ledger(problem=problem, actgrad_factor=actgrad_factor)
+        stage_list: list[OpRecord] = []
+        for i in range(lo, hi):
+            op = ops[i]
+            record = OpRecord(op=op, stage=s, start=start[i], end=end[i])
+            records[op] = record
+            stage_list.append(record)
+            m.busy_time += duration[i]
+            m.op_count += 1
+            ledger.apply(op, act_units[i])
+        m.peak_activation_units = ledger.peak
+        metrics.append(m)
+        rec_lists.append(stage_list)
+        stage_ends.append(end[hi - 1] if hi > lo else 0.0)
+    makespan = max(stage_ends) if stage_ends else 0.0
+    return SimResult(
+        schedule_name=schedule.name,
+        problem=problem,
+        records=records,
+        stages=metrics,
+        makespan=makespan,
+        overhead_time=overhead_time,
+        stage_record_lists=rec_lists,
+    )
 
 
 def _simulate_fixed_point(

@@ -214,7 +214,7 @@ def _task():
 
 
 def test_generator_version_is_in_sweep_fingerprints(monkeypatch):
-    assert CACHE_SCHEMA == 3
+    assert CACHE_SCHEMA == 4
     before = eval_fingerprint(_task())
     monkeypatch.setattr(gencache, "GENERATOR_VERSION", "greedy-test-bump")
     assert eval_fingerprint(_task()) != before
