@@ -10,6 +10,7 @@ Run `nox -s lint` / `nox -s tests`, or the same commands directly:
     mypy --strict src/repro/analysis/capacity
     mypy --strict src/repro/obs
     mypy --strict src/repro/pipeline
+    mypy --strict src/repro/api src/repro/service
     mypy --strict src/repro/schedules/greedy.py src/repro/schedules/gencache.py src/repro/schedules/graph.py
     PYTHONPATH=src python -m pytest -x -q
     python -m repro check-model grid
@@ -19,7 +20,7 @@ import nox
 
 nox.options.sessions = [
     "lint", "analysis", "evaluate", "capacity", "generate", "obs",
-    "pipeline", "tests",
+    "pipeline", "service", "tests",
 ]
 
 #: Tool configuration lives in pyproject.toml ([tool.ruff], [tool.mypy]).
@@ -142,6 +143,25 @@ def pipeline(session: nox.Session) -> None:
     session.run("mypy", "--strict", "src/repro/pipeline")
     session.run(
         "python", "-m", "pytest", "-x", "-q", "tests/test_parallel_runtime.py"
+    )
+
+
+@nox.session
+def service(session: nox.Session) -> None:
+    """The service gate: strict typing plus the wire-surface tests.
+
+    ``repro.api`` is the typed request/response facade every transport
+    (CLI, HTTP, library) shares and ``repro.service`` is the asyncio
+    job/HTTP layer on top; both are held to ``mypy --strict``.  The
+    test modules cover canonical round-trips, fingerprint dedup (32
+    concurrent identical requests -> one computation), SSE progress
+    streams, per-tenant quotas, and structured timeout errors.
+    """
+    session.install("-e", ".[test,lint]")
+    session.run("mypy", "--strict", "src/repro/api", "src/repro/service")
+    session.run(
+        "python", "-m", "pytest", "-x", "-q",
+        "tests/test_service.py", "tests/test_api.py",
     )
 
 

@@ -14,13 +14,34 @@ pipeline-research loop::
     sim = api.simulate(schedule, cost)       # discrete-event replay
     print(sim.metrics().render_text())       # uniform result API
 
+The facade is a package: :mod:`repro.api.types` defines the typed,
+frozen request/response dataclasses that are the single wire and
+programmatic surface (``PlanRequest``, ``VerifyRequest``, ... — each
+with ``to_json``/``from_json`` round-trips and a dedup
+``fingerprint()``), and :mod:`repro.api.handlers` executes them::
+
+    response = api.execute(api.EvaluateRequest(
+        method="mepipe", shape=api.ShapeSpec(slices=4, wgrad_gemms=3)))
+    print(response.text)
+
+The HTTP service (:mod:`repro.service`, ``repro serve``) and the CLI
+subcommands consume exactly these dataclasses, so the three transports
+cannot drift.
+
 Everything observable rides the telemetry bus — pass any sink
-(:class:`MemorySink`, :class:`JsonlSink`, :class:`ChromeTraceSink`) to
-:func:`simulate`, :meth:`PipelineRuntime.run`, or :func:`plan`;
-the default :data:`NULL_SINK` keeps uninstrumented runs free.
+(:class:`MemorySink`, :class:`JsonlSink`, :class:`ChromeTraceSink`,
+:class:`QueueSink`) to :func:`simulate`, :meth:`PipelineRuntime.run`,
+:func:`plan`, or :func:`execute`; the default :data:`NULL_SINK` keeps
+uninstrumented runs free.
+
+Renamed symbols stay importable through a ``DeprecationWarning`` shim
+(module ``__getattr__``): e.g. ``api.cross_validate`` still resolves
+but warns in favor of :func:`cross_validate_evaluation`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.analysis import analyze_spec as check_model
 from repro.analysis.capacity import (
@@ -37,6 +58,29 @@ from repro.analysis.evaluate import (
     evaluate_schedule,
     iteration_time_bounds,
 )
+from repro.api.handlers import execute
+from repro.api.types import (
+    SCHEMA_VERSION,
+    CapacityRequest,
+    CapacityResponse,
+    CheckModelRequest,
+    CheckModelResponse,
+    ErrorInfo,
+    EvaluateRequest,
+    EvaluateResponse,
+    PlanRequest,
+    PlanResponse,
+    Request,
+    RequestError,
+    Response,
+    ShapeSpec,
+    SimulateRequest,
+    SimulateResponse,
+    VerifyRequest,
+    VerifyResponse,
+    request_from_dict,
+    response_from_dict,
+)
 from repro.hardware import ClusterSpec, GPUSpec, get_cluster
 from repro.model import ModelSpec, get_model, tiny_spec
 from repro.nn import build_model
@@ -50,6 +94,7 @@ from repro.obs import (
     MemorySink,
     NullSink,
     PipelineResult,
+    QueueSink,
     TeeSink,
     chrome_trace,
     iteration_metrics,
@@ -69,15 +114,22 @@ from repro.schedules import (
 )
 from repro.schedules.verify import verify_schedule as verify
 from repro.sim import ClusterCost, SimResult, UniformCost, simulate
-from repro.sim.crossval import cross_validate
+from repro.sim.crossval import cross_validate as cross_validate_evaluation
 
 __all__ = [
     "AnalyticEvaluation",
     "CapacityCertificate",
     "CapacityPlan",
+    "CapacityRequest",
+    "CapacityResponse",
+    "CheckModelRequest",
+    "CheckModelResponse",
     "ChromeTraceSink",
     "ClusterCost",
     "ClusterSpec",
+    "ErrorInfo",
+    "EvaluateRequest",
+    "EvaluateResponse",
     "Event",
     "EventSink",
     "GPUSpec",
@@ -91,16 +143,28 @@ __all__ = [
     "PipelineProblem",
     "PipelineResult",
     "PipelineRuntime",
+    "PlanRequest",
+    "PlanResponse",
     "Profiler",
+    "QueueSink",
+    "Request",
+    "RequestError",
+    "Response",
     "RunResult",
+    "SCHEMA_VERSION",
     "Schedule",
     "ScheduleError",
     "SearchResult",
+    "ShapeSpec",
     "SimResult",
+    "SimulateRequest",
+    "SimulateResponse",
     "SweepCache",
     "TeeSink",
     "TimeBounds",
     "UniformCost",
+    "VerifyRequest",
+    "VerifyResponse",
     "build_model",
     "build_problem",
     "build_schedule",
@@ -108,10 +172,11 @@ __all__ = [
     "check_capacities",
     "check_model",
     "chrome_trace",
-    "cross_validate",
     "cross_validate_capacities",
+    "cross_validate_evaluation",
     "evaluate_config",
     "evaluate_schedule",
+    "execute",
     "get_cluster",
     "get_model",
     "infer_capacities",
@@ -119,7 +184,31 @@ __all__ = [
     "iteration_time_bounds",
     "plan",
     "record_iteration",
+    "request_from_dict",
+    "response_from_dict",
     "simulate",
     "tiny_spec",
     "verify",
 ]
+
+#: Renamed facade symbols: old name -> canonical name.  Old imports
+#: keep working through ``__getattr__`` below, with a
+#: ``DeprecationWarning`` pointing at the caller.
+_RENAMED = {
+    "cross_validate": "cross_validate_evaluation",
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        canonical = _RENAMED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"repro.api.{name} is deprecated; use repro.api.{canonical}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return globals()[canonical]

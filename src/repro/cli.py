@@ -29,10 +29,20 @@ Commands:
   telemetry bus (``repro.obs``).
 * ``report <method>`` — run both substrates and print their uniform
   :class:`~repro.obs.metrics.IterationMetrics` side by side.
+* ``serve`` — run the planner-as-a-service HTTP endpoint
+  (:mod:`repro.service`, ``docs/service.md``).
+* ``client <kind>`` — talk to a running service with the same typed
+  request payloads.
 
 Subcommands are declared in the :data:`SUBCOMMANDS` registry — one
 :class:`Subcommand` entry per command bundling its flag setup and
 handler — so adding a command is one entry, not parser surgery.
+
+The request-shaped commands (``verify``, ``check-model``, ``plan``,
+``evaluate``, ``capacity``) build a typed request from
+:mod:`repro.api.types` and route through :func:`repro.api.execute` —
+the same code path the HTTP service runs — so the transports cannot
+drift.
 """
 
 from __future__ import annotations
@@ -40,15 +50,15 @@ from __future__ import annotations
 import argparse
 import json as _json
 import sys
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.api import ShapeSpec, VerifyResponse
     from repro.model.spec import ModelSpec
     from repro.pipeline.runtime import RunResult
     from repro.schedules.base import PipelineProblem, Schedule
-    from repro.schedules.verify import Report
     from repro.sim.executor import SimResult
 
 
@@ -109,35 +119,41 @@ def _sweep_flags(parser: argparse.ArgumentParser, jobs_default: int | None) -> N
                              "memoization (repro.schedules.gencache)")
 
 
-def _selected_rules(
-    args: argparse.Namespace, known: Sequence[str]
-) -> tuple[list[str] | None, str | None]:
-    """Parse ``--rules`` against a rule catalogue.
+def _shape_from_args(args: argparse.Namespace) -> "ShapeSpec":
+    """The typed :class:`repro.api.ShapeSpec` for the shared shape flags."""
+    from repro.api import ShapeSpec
 
-    Returns ``(rules, error)``; ``rules`` is ``None`` when the flag was
-    not given (meaning: all of ``known``).
-    """
+    return ShapeSpec(
+        stages=args.stages,
+        microbatches=args.microbatches,
+        slices=args.slices,
+        virtual=args.virtual,
+        forwards=args.forwards,
+        wgrad_gemms=args.wgrad_gemms,
+    )
+
+
+def _rules_from_args(args: argparse.Namespace) -> tuple[str, ...] | None:
+    """The raw ``--rules`` selector (validated by the API handlers)."""
     if not args.rules:
-        return None, None
-    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
-    unknown = [r for r in rules if r not in known]
-    if unknown:
-        return None, f"unknown rule(s) {unknown}; known: {', '.join(known)}"
-    return rules, None
+        return None
+    return tuple(r for r in args.rules.split(",") if r.strip())
 
 
-def _emit_reports(reports: list[Report], args: argparse.Namespace) -> int:
-    """Render one or more reports per ``--format``; exit status 1 when
-    any carries an error-severity finding."""
+def _emit_report_response(
+    response: "VerifyResponse", args: argparse.Namespace
+) -> int:
+    """Render a report-carrying response per ``--format``; exit status 1
+    when any report carries an error-severity finding."""
     as_json = args.json or args.format == "json"
     if as_json:
-        if len(reports) == 1:
-            print(reports[0].render_json())
+        if len(response.reports) == 1:
+            print(_json.dumps(response.reports[0], indent=2))
         else:
-            print(_json.dumps([r.to_dict() for r in reports], indent=2))
+            print(_json.dumps(list(response.reports), indent=2))
     else:
-        print("\n".join(r.render_text() for r in reports))
-    return 0 if all(r.ok for r in reports) else 1
+        print(response.text)
+    return 0 if response.ok else 1
 
 
 def _build_for_cli(args: argparse.Namespace, method: str, **overrides):
@@ -287,235 +303,138 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _merge_capacity_findings(
-    report: "Report", schedule: "Schedule", rules: list[str] | None
-) -> None:
-    """Fold the CP rule family into a verifier/analyzer report in place
-    (same catalogue, so findings render and filter uniformly)."""
-    from repro.analysis.capacity import check_capacities
-
-    cp = check_capacities(schedule)
-    report.findings.extend(
-        f for f in cp.findings if rules is None or f.rule_id in rules
-    )
-    report.checked_rules = tuple(report.checked_rules) + tuple(
-        r for r in cp.checked_rules if rules is None or r in rules
-    )
-
-
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.analysis.capacity import CAPACITY_RULES
-    from repro.schedules.verify import ALL_RULES, verify_schedule
+    from repro.api import RequestError, VerifyRequest, execute
 
-    known = tuple(ALL_RULES)
-    if args.capacity:
-        known += tuple(CAPACITY_RULES)
-    rules, error = _selected_rules(args, known)
-    if error:
-        print(error)
-        return 2
-    schedule, status = _build_for_cli(args, args.method)
-    if schedule is None:
-        assert status is not None
-        return status
-    verify_rules = (
-        None if rules is None else [r for r in rules if r in ALL_RULES]
+    request = VerifyRequest(
+        method=args.method,
+        shape=_shape_from_args(args),
+        rules=_rules_from_args(args),
+        capacity=args.capacity,
     )
-    report = verify_schedule(schedule, method=args.method, rules=verify_rules)
-    if args.capacity:
-        _merge_capacity_findings(report, schedule, rules)
-    return _emit_reports([report], args)
+    try:
+        response = execute(request)
+    except RequestError as exc:
+        print(exc)
+        return exc.exit_status
+    return _emit_report_response(response, args)
 
 
 def _cmd_check_model(args: argparse.Namespace) -> int:
-    from repro.analysis import MODEL_RULES, analyze_spec
-    from repro.analysis.capacity import CAPACITY_RULES
-    from repro.model import get_model
-    from repro.model.spec import tiny_spec
+    from repro.api import CheckModelRequest, RequestError, execute
 
-    known = tuple(MODEL_RULES)
-    if args.capacity:
-        known += tuple(CAPACITY_RULES)
-    rules, error = _selected_rules(args, known)
-    if error:
-        print(error)
-        return 2
-    if args.model == "tiny":
-        # Enough decoder layers that embedding + head balance against
-        # them under any p×v chunking the flags (or the grid's v=2
-        # entries) request — the Section 7.1 layout.
-        v = max(args.virtual, 2)
-        spec = tiny_spec(num_layers=args.stages * v - 2)
-    else:
-        spec = get_model(args.model)
-
-    if args.method == "grid":
-        # The E0 acceptance grid: every scheduling method in its
-        # reference configuration.
-        from repro.experiments.e0 import METHOD_SETUPS
-
-        setups = [
-            (method, dict(kwargs)) for method, kwargs in METHOD_SETUPS
-        ]
-    else:
-        setups = [(args.method, {})]
-
-    model_rules = (
-        None if rules is None else [r for r in rules if r in MODEL_RULES]
+    request = CheckModelRequest(
+        method=args.method,
+        model=args.model,
+        shape=_shape_from_args(args),
+        rules=_rules_from_args(args),
+        capacity=args.capacity,
     )
-    reports = []
-    for method, overrides in setups:
-        schedule, status = _build_for_cli(args, method, **overrides)
-        if schedule is None:
-            assert status is not None
-            return status
-        report = analyze_spec(spec, schedule, rules=model_rules)
-        if args.capacity:
-            _merge_capacity_findings(report, schedule, rules)
-        reports.append(report)
-    return _emit_reports(reports, args)
+    try:
+        response = execute(request)
+    except RequestError as exc:
+        print(exc)
+        return exc.exit_status
+    return _emit_report_response(response, args)
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    from repro.hardware import get_cluster
-    from repro.model import get_model
-    from repro.planner import SweepCache, search_method
+    from repro.api import PlanRequest, RequestError, execute
     from repro.schedules import gencache
 
     if args.no_gen_cache:
         gencache.set_enabled(False)
-    spec = get_model(args.model)
-    cluster = get_cluster(args.cluster)
-    cache = None if args.no_cache else SweepCache()
-    for method in args.methods.split(","):
-        result = search_method(
-            method, spec, cluster, args.gbs, jobs=args.jobs, cache=cache
-        )
-        if result.best is None:
+    request = PlanRequest(
+        model=args.model,
+        global_batch_size=args.gbs,
+        cluster=args.cluster,
+        methods=tuple(args.methods.split(",")),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    try:
+        response = execute(request)
+    except RequestError as exc:
+        print(exc)
+        return exc.exit_status
+    for entry in response.methods:
+        method = entry["method"]
+        if entry["best"] is None:
             print(f"{method:9s} OOM in every configuration")
         else:
-            print(f"{method:9s} {result.best.describe()}")
+            print(f"{method:9s} {entry['describe']}")
         if args.show_skipped:
-            for skip in result.skipped:
-                print(f"  skipped {skip.config.describe()}: {skip.reason}")
-    if cache is not None and (cache.hits or cache.misses):
-        print(f"sweep cache: {cache.hits} hits, {cache.misses} misses")
-    gen_stats = gencache.stats()
-    if gen_stats["hits"] or gen_stats["misses"]:
+            for skip in entry["skipped"]:
+                print(f"  skipped {skip['config']}: {skip['reason']}")
+    cache = response.cache
+    if cache is not None and (cache["hits"] or cache["misses"]):
+        print(f"sweep cache: {cache['hits']} hits, {cache['misses']} misses")
+    gen = response.gen_cache
+    if gen["hits"] or gen["misses"]:
         print(
-            f"gen cache: {gen_stats['hits']} hits, "
-            f"{gen_stats['misses']} misses, {gen_stats['size']} resident"
+            f"gen cache: {gen['hits']} hits, "
+            f"{gen['misses']} misses, {gen['size']} resident"
         )
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.analysis.evaluate import (
-        evaluate_schedule,
-        iteration_time_bounds,
+    from repro.api import EvaluateRequest, RequestError, execute
+
+    request = EvaluateRequest(
+        method=args.method,
+        shape=_shape_from_args(args),
+        tw=args.tw,
+        check=args.check,
     )
-    from repro.sim import UniformCost
-
-    schedule, status = _build_for_cli(args, args.method)
-    if schedule is None:
-        assert status is not None
-        return status
-    cost = UniformCost(schedule.problem, tw=args.tw)
-    evaluation = evaluate_schedule(schedule, cost)
-    bounds = iteration_time_bounds(schedule.problem, cost)
+    try:
+        response = execute(request)
+    except RequestError as exc:
+        print(exc)
+        return exc.exit_status
+    as_json = args.json or args.format == "json"
     if args.check:
-        from repro.sim.crossval import cross_validate
-
-        report = cross_validate(
-            schedule, cost, evaluation=evaluation, bounds=bounds
-        )
-        return _emit_reports([report], args)
-    if args.json or args.format == "json":
-        payload = evaluation.to_dict()
-        if bounds is not None:
-            payload["build_free_bounds"] = {
-                "lower_s": bounds.lower,
-                "upper_s": bounds.upper,
-            }
+        if as_json:
+            print(_json.dumps(response.report, indent=2))
+        else:
+            print(response.text)
+        return 0 if response.ok else 1
+    if as_json:
+        payload = dict(response.evaluation)
+        if response.bounds is not None:
+            payload["build_free_bounds"] = response.bounds
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(evaluation.render_text())
-        if bounds is not None:
-            print(
-                f"build-free bounds: [{bounds.lower:.6g}, "
-                f"{bounds.upper:.6g}] s"
-            )
+        print(response.text)
     return 0
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
-    from repro.analysis.capacity import (
-        CAPACITY_RULES,
-        certify_capacities,
-        check_capacities,
-        cross_validate_capacities,
-        infer_capacities,
-    )
-    from repro.schedules import ScheduleError
-    from repro.schedules.verify.diagnostics import Report
-    from repro.sim import UniformCost
+    from repro.api import CapacityRequest, RequestError, execute
 
-    rules, error = _selected_rules(args, CAPACITY_RULES)
-    if error:
-        print(error)
-        return 2
-    schedule, status = _build_for_cli(args, args.method)
-    if schedule is None:
-        assert status is not None
-        return status
-    cost = UniformCost(schedule.problem, tw=args.tw)
+    request = CapacityRequest(
+        method=args.method,
+        shape=_shape_from_args(args),
+        tw=args.tw,
+        mode=args.mode,
+        rules=_rules_from_args(args),
+        check=args.check,
+    )
     try:
-        plan = infer_capacities(schedule, cost)
-    except ScheduleError as exc:
+        response = execute(request)
+    except RequestError as exc:
         print(exc)
-        return 1
-    certificate = None
-    if args.check:
-        certificate = certify_capacities(schedule, cost, mode=args.mode)
-        report = cross_validate_capacities(schedule, cost, certificate)
-    else:
-        report = check_capacities(
-            schedule, capacities=plan.capacities(args.mode), cost=cost
-        )
-    if rules is not None:
-        report = Report(
-            schedule_name=report.schedule_name,
-            findings=[f for f in report.findings if f.rule_id in rules],
-            checked_rules=tuple(
-                r for r in report.checked_rules if r in rules
-            ),
-        )
+        return exc.exit_status
     if args.json or args.format == "json":
-        payload = plan.to_dict()
-        payload["mode"] = args.mode
-        payload["report"] = report.to_dict()
-        if certificate is not None:
-            payload["certificate"] = certificate.to_dict()
+        payload = dict(response.plan)
+        payload["mode"] = response.mode
+        payload["report"] = response.report
+        if response.certificate is not None:
+            payload["certificate"] = response.certificate
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(f"capacity plan for {schedule.name} (mode: {args.mode}):")
-        for channel in plan.channels:
-            print(f"  {channel.describe()}")
-        if plan.unbounded_makespan is not None:
-            print(f"  unbounded makespan: {plan.unbounded_makespan:.6g}")
-        if certificate is not None:
-            state = (
-                "backpressure-free"
-                if certificate.backpressure_free
-                else "backpressured"
-            )
-            print(
-                f"  certificate: makespan {certificate.makespan:.6g} "
-                f"({state}), cross-validated against the bounded simulator"
-            )
-        print()
-        print(report.render_text())
-    return 0 if report.ok else 1
+        print(response.text)
+    return 0 if response.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -567,6 +486,101 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print(run_metrics.render_text())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import PlannerService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        request_timeout_s=args.timeout,
+        dedup=not args.no_dedup,
+        use_cache=not args.no_cache,
+    )
+    if args.tenant_quota is not None:
+        config.tenant_quota = args.tenant_quota
+
+    async def _serve() -> None:
+        service = PlannerService(config)
+        await service.start()
+        print(
+            f"planner service listening on {service.address} "
+            f"(schema v{_schema_version()})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _schema_version() -> int:
+    from repro.api import SCHEMA_VERSION
+
+    return SCHEMA_VERSION
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.api import RequestError, request_from_dict
+    from repro.api.types import REQUESTS
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(
+        args.address, tenant=args.tenant, timeout_s=args.timeout
+    )
+    try:
+        if args.what == "health":
+            print(_json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.what == "job":
+            if not args.arg:
+                print("usage: client job <job-id>")
+                return 2
+            data = client.wait(args.arg) if args.wait else client.job(args.arg)
+            print(_json.dumps(data, indent=2, sort_keys=True))
+            return 0
+        if args.what == "events":
+            if not args.arg:
+                print("usage: client events <job-id>")
+                return 2
+            for name, payload in client.events(args.arg):
+                print(f"{name}: {_json.dumps(payload, sort_keys=True)}")
+            return 0
+        if args.what not in REQUESTS:
+            print(
+                f"unknown request kind {args.what!r}; known: "
+                f"{', '.join(sorted(REQUESTS))}, job, events, health"
+            )
+            return 2
+        body: dict = _json.loads(args.body) if args.body else {}
+        body["kind"] = args.what
+        request = request_from_dict(body)
+        if args.mode == "async":
+            print(_json.dumps(client.submit(request), indent=2,
+                              sort_keys=True))
+            return 0
+        response = client.request(request)
+        print(_json.dumps(response.to_dict(), indent=2, sort_keys=True))
+        return 0 if response.ok else 1
+    except RequestError as exc:
+        print(exc)
+        return exc.exit_status
+    except ServiceError as exc:
+        print(exc)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.address}: {exc}")
+        return 1
 
 
 # ----------------------------------------------------------------------
@@ -674,6 +688,45 @@ def _configure_report(parser: argparse.ArgumentParser) -> None:
                         help="shorthand for --format json")
 
 
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per planner sweep")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="default request deadline in seconds "
+                             "(default: REPRO_REQUEST_TIMEOUT, then "
+                             "REPRO_CHANNEL_TIMEOUT, then 60)")
+    parser.add_argument("--tenant-quota", type=int, default=None,
+                        help="max concurrently active jobs per tenant")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="do not share identical in-flight requests")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not reuse/persist sweep results on disk")
+
+
+def _configure_client(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "what",
+        help="request kind (plan, verify, check-model, evaluate, "
+             "capacity, simulate) or job / events / health",
+    )
+    parser.add_argument("arg", nargs="?", default=None,
+                        help="job id for job/events")
+    parser.add_argument("--address", default="http://127.0.0.1:8731")
+    parser.add_argument("--body", default=None,
+                        help="JSON request payload (kind is implied)")
+    parser.add_argument("--mode", choices=("sync", "async"), default="sync",
+                        help="async submits and prints the job descriptor")
+    parser.add_argument("--tenant", default=None,
+                        help="value for the X-Repro-Tenant header")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--wait", action="store_true",
+                        help="with 'job': poll until the job finishes")
+
+
 #: Every CLI command, declaratively.  ``build_parser`` materializes the
 #: argparse tree from this table.
 SUBCOMMANDS: tuple[Subcommand, ...] = (
@@ -700,6 +753,12 @@ SUBCOMMANDS: tuple[Subcommand, ...] = (
     Subcommand("report",
                "print uniform iteration metrics from both substrates",
                _configure_report, _cmd_report),
+    Subcommand("serve",
+               "run the planner-as-a-service HTTP endpoint (docs/service.md)",
+               _configure_serve, _cmd_serve),
+    Subcommand("client",
+               "talk to a running planner service",
+               _configure_client, _cmd_client),
 )
 
 

@@ -33,6 +33,7 @@ from repro.obs.sinks import (
     ChromeTraceSink,
     JsonlSink,
     MemorySink,
+    QueueSink,
     TeeSink,
     read_jsonl,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "NullSink",
     "ObsError",
     "PipelineResult",
+    "QueueSink",
     "Sink",
     "SpanRow",
     "TeeSink",

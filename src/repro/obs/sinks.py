@@ -9,6 +9,7 @@ sink           enabled  destination                              use
 ``MemorySink`` yes      ``events`` list                          tests, metrics
 ``JsonlSink``  yes      one JSON object per line                 streaming/logs
 ``ChromeTraceSink`` yes Chrome/Perfetto JSON file on ``close()`` trace viewers
+``QueueSink``  yes      thread-safe queue another thread drains  services
 ``TeeSink``    yes      fan-out to several sinks                 composition
 ============== ======== ======================================== =========
 """
@@ -16,6 +17,7 @@ sink           enabled  destination                              use
 from __future__ import annotations
 
 import json
+import queue as _queue
 from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
 from typing import IO
@@ -148,6 +150,45 @@ class ChromeTraceSink(Sink):
     def close(self) -> None:
         super().close()
         self.path.write_text(json.dumps(self.trace_dict()))
+
+
+class QueueSink(Sink):
+    """Bridges the event bus into a thread-safe queue.
+
+    The emitting side (a planner sweep or simulation running on an
+    executor thread) calls the usual sink primitives; a consumer on
+    any other thread — e.g. the asyncio service pumping per-job
+    progress streams — drains complete events with :meth:`drain`
+    without ever blocking the producer.  ``close()`` enqueues a
+    ``None`` sentinel; once the consumer has drained it,
+    :attr:`finished` is ``True`` and no further events will arrive.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: _queue.SimpleQueue[Event | None] = _queue.SimpleQueue()
+        #: Set by :meth:`drain` once the close sentinel has been seen.
+        self.finished = False
+
+    def emit(self, event: Event) -> None:
+        self._queue.put(event)
+
+    def close(self) -> None:
+        super().close()
+        self._queue.put(None)
+
+    def drain(self) -> list[Event]:
+        """Every event enqueued since the last drain (non-blocking)."""
+        events: list[Event] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                return events
+            if item is None:
+                self.finished = True
+                return events
+            events.append(item)
 
 
 class TeeSink(Sink):

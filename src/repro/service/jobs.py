@@ -1,0 +1,316 @@
+"""Async job store: dedup, quotas, deadlines, and progress streams.
+
+Every service request becomes a :class:`Job`.  The store
+
+- **deduplicates** identical in-flight requests onto one computation,
+  keyed by :meth:`repro.api.Request.fingerprint` (the same
+  version-folding contract as the sweep cache's eval fingerprints), so
+  two tenants asking the same question share one planner sweep;
+- enforces **per-tenant quotas** on concurrently active jobs
+  (attaching to a deduplicated job is free — it adds no load);
+- runs handlers on a thread pool behind ``run_in_executor`` so the
+  asyncio loop stays responsive (planner sweeps further fan out to the
+  :mod:`repro.planner.parallel` process pool when ``jobs > 1``);
+- bridges each handler's telemetry onto the asyncio side through a
+  :class:`repro.obs.QueueSink` pump, feeding per-job subscriber queues
+  that back the SSE progress stream; and
+- surfaces **deadline expiry** as a structured ``timeout``
+  :class:`repro.api.ErrorInfo` payload while the computation keeps
+  running for any patient subscriber (threads are not cancellable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import (
+    SCHEMA_VERSION,
+    ErrorInfo,
+    Request,
+    RequestError,
+    Response,
+    execute,
+)
+from repro.api.types import JsonDict
+from repro.obs import Event, QueueSink
+from repro.planner import SweepCache
+from repro.service.config import ServiceConfig
+
+#: Seconds between telemetry pump drains while a job runs.
+PUMP_INTERVAL_S = 0.02
+
+#: Queue sentinel telling an event subscriber the stream is over.
+STREAM_END = None
+
+
+class QuotaExceeded(Exception):
+    """A tenant already has ``quota`` active jobs."""
+
+    def __init__(self, tenant: str, quota: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} already has {quota} active job(s)"
+        )
+        self.tenant = tenant
+        self.quota = quota
+
+    def to_error(self) -> ErrorInfo:
+        return ErrorInfo(
+            code="quota-exceeded",
+            message=str(self),
+            detail={"tenant": self.tenant, "quota": self.quota},
+        )
+
+
+def timeout_error(job_id: str, timeout_s: float) -> ErrorInfo:
+    """The structured payload for a request that outlived its deadline."""
+    return ErrorInfo(
+        code="timeout",
+        message=(
+            f"request exceeded its {timeout_s:g}s deadline; the job "
+            f"keeps running — poll /v1/jobs/{job_id}"
+        ),
+        detail={"job_id": job_id, "timeout_s": timeout_s},
+    )
+
+
+@dataclass
+class Job:
+    """One deduplicated unit of work and its observable state."""
+
+    job_id: str
+    kind: str
+    fingerprint: str
+    tenant: str
+    status: str = "queued"  # queued -> running -> done | error
+    response: Response | None = None
+    error: ErrorInfo | None = None
+    #: How many requests were folded onto this computation (1 = no
+    #: dedup; every extra attach proves a shared in-flight hit).
+    attached: int = 1
+    created_s: float = field(default_factory=time.monotonic)
+    finished_s: float | None = None
+    events: list[JsonDict] = field(default_factory=list)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    _subscribers: list[asyncio.Queue[JsonDict | None]] = field(
+        default_factory=list
+    )
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "error")
+
+    def subscribe(self) -> asyncio.Queue[JsonDict | None]:
+        """A queue replaying all past events, then live ones, then
+        :data:`STREAM_END` once the job finishes."""
+        q: asyncio.Queue[JsonDict | None] = asyncio.Queue()
+        for event in self.events:
+            q.put_nowait(event)
+        if self.finished:
+            q.put_nowait(STREAM_END)
+        else:
+            self._subscribers.append(q)
+        return q
+
+    def publish(self, events: list[Event]) -> None:
+        dicts = [e.to_dict() for e in events]
+        self.events.extend(dicts)
+        for q in self._subscribers:
+            for d in dicts:
+                q.put_nowait(d)
+
+    def finish(
+        self, response: Response | None, error: ErrorInfo | None
+    ) -> None:
+        self.response = response
+        self.error = error
+        self.status = "error" if error is not None else "done"
+        self.finished_s = time.monotonic()
+        for q in self._subscribers:
+            q.put_nowait(STREAM_END)
+        self._subscribers.clear()
+        self.done.set()
+
+    def result(self) -> Response | ErrorInfo:
+        """The finished job's payload (response or structured error)."""
+        if self.error is not None:
+            return self.error
+        assert self.response is not None
+        return self.response
+
+    def to_dict(self) -> JsonDict:
+        """The polling (``GET /v1/jobs/<id>``) representation."""
+        out: JsonDict = {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "attached": self.attached,
+            "num_events": len(self.events),
+        }
+        if self.response is not None:
+            out["response"] = self.response.to_dict()
+        if self.error is not None:
+            out["error"] = self.error.to_dict()
+        return out
+
+
+class JobStore:
+    """Owns every job, the dedup index, quotas, and the worker pool."""
+
+    def __init__(
+        self, config: ServiceConfig, *, cache: SweepCache | None = None
+    ) -> None:
+        self.config = config
+        if cache is None and config.use_cache:
+            cache = SweepCache()
+        self.cache = cache
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_workers, thread_name_prefix="repro-job"
+        )
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._tenant_active: dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._tasks: set[asyncio.Task[None]] = set()
+        #: Requests answered by attaching to an in-flight job.
+        self.dedup_hits = 0
+        #: Handler invocations actually executed.
+        self.executed = 0
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def active_jobs(self, tenant: str) -> int:
+        return self._tenant_active.get(tenant, 0)
+
+    def submit(self, request: Request, *, tenant: str = "default") -> Job:
+        """Start (or attach to) the job answering ``request``.
+
+        Raises :class:`QuotaExceeded` when the tenant is at its
+        concurrency quota and no in-flight job can be shared.
+        """
+        fingerprint = request.fingerprint()
+        if self.config.dedup:
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                existing.attached += 1
+                self.dedup_hits += 1
+                return existing
+        active = self._tenant_active.get(tenant, 0)
+        if active >= self.config.tenant_quota:
+            raise QuotaExceeded(tenant, self.config.tenant_quota)
+        job = Job(
+            job_id=f"job-{next(self._ids)}",
+            kind=request.KIND,
+            fingerprint=fingerprint,
+            tenant=tenant,
+        )
+        self._jobs[job.job_id] = job
+        self._inflight[fingerprint] = job
+        self._tenant_active[tenant] = active + 1
+        task = asyncio.get_running_loop().create_task(
+            self._run(job, request)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    async def wait(
+        self, job: Job, *, timeout_s: float | None = None
+    ) -> Response | ErrorInfo:
+        """Await ``job`` up to the resolved deadline.
+
+        On expiry the job keeps running (executor threads cannot be
+        cancelled) and the caller gets a structured ``timeout`` error
+        naming the job id so it can switch to polling.
+        """
+        timeout = (
+            timeout_s
+            if timeout_s is not None
+            else self.config.request_timeout_s
+        )
+        assert timeout is not None
+        try:
+            await asyncio.wait_for(
+                asyncio.shield(job.done.wait()), timeout
+            )
+        except asyncio.TimeoutError:
+            return timeout_error(job.job_id, timeout)
+        return job.result()
+
+    async def run(
+        self,
+        request: Request,
+        *,
+        tenant: str = "default",
+        timeout_s: float | None = None,
+    ) -> Response | ErrorInfo:
+        """Submit-and-wait convenience for synchronous endpoints."""
+        try:
+            job = self.submit(request, tenant=tenant)
+        except QuotaExceeded as exc:
+            return exc.to_error()
+        return await self.wait(job, timeout_s=timeout_s)
+
+    def _execute(self, request: Request, sink: QueueSink) -> Response:
+        # Runs on an executor thread; closing the sink delivers the
+        # end-of-stream sentinel to the asyncio-side pump.
+        try:
+            self.executed += 1
+            return execute(request, sink=sink, cache=self.cache)
+        finally:
+            sink.close()
+
+    async def _run(self, job: Job, request: Request) -> None:
+        loop = asyncio.get_running_loop()
+        sink = QueueSink()
+        job.status = "running"
+        future = loop.run_in_executor(
+            self._executor, self._execute, request, sink
+        )
+        response: Response | None = None
+        error: ErrorInfo | None = None
+        try:
+            while True:
+                job.publish(sink.drain())
+                if future.done() and sink.finished:
+                    break
+                await asyncio.sleep(PUMP_INTERVAL_S)
+            response = future.result()
+        except RequestError as exc:
+            error = exc.to_error()
+        except Exception as exc:  # pragma: no cover - defensive
+            error = ErrorInfo(
+                code="internal",
+                message=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self._inflight.pop(job.fingerprint, None)
+            remaining = self._tenant_active.get(job.tenant, 1) - 1
+            if remaining > 0:
+                self._tenant_active[job.tenant] = remaining
+            else:
+                self._tenant_active.pop(job.tenant, None)
+            job.finish(response, error)
+
+    async def close(self) -> None:
+        """Wait for in-flight jobs, then release the worker pool."""
+        tasks = [t for t in self._tasks if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "jobs": len(self._jobs),
+            "inflight": len(self._inflight),
+            "dedup_hits": self.dedup_hits,
+            "executed": self.executed,
+        }

@@ -5,7 +5,9 @@ The simulator's trace export now rides the unified telemetry bus:
 dictionary (same rows, events, colors, ``otherData``), and
 :func:`repro.obs.chrome.chrome_trace` renders arbitrary event streams,
 e.g. a simulated and an executed iteration side by side.  This module
-remains as a thin shim; importing it works, calling it warns.
+remains as a thin shim; importing it works, calling it warns — with
+``stacklevel=2`` so the warning points at the caller's line, not at
+this shim.
 """
 
 from __future__ import annotations
@@ -19,17 +21,14 @@ from repro.sim.executor import SimResult
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 
-def _warn(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.viz.trace.{old} is deprecated; use repro.obs.chrome.{new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 def to_chrome_trace(result: SimResult, time_unit_us: float = 1e6) -> dict:
     """Deprecated alias of :func:`repro.obs.chrome.sim_chrome_trace`."""
-    _warn("to_chrome_trace", "sim_chrome_trace")
+    warnings.warn(
+        "repro.viz.trace.to_chrome_trace is deprecated; "
+        "use repro.obs.chrome.sim_chrome_trace",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return sim_chrome_trace(result, time_unit_us)
 
 
@@ -37,5 +36,10 @@ def write_chrome_trace(
     result: SimResult, path: str | Path, time_unit_us: float = 1e6
 ) -> Path:
     """Deprecated alias of :func:`repro.obs.chrome.write_sim_trace`."""
-    _warn("write_chrome_trace", "write_sim_trace")
+    warnings.warn(
+        "repro.viz.trace.write_chrome_trace is deprecated; "
+        "use repro.obs.chrome.write_sim_trace",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return write_sim_trace(result, path, time_unit_us)

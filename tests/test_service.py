@@ -1,0 +1,442 @@
+"""The planner service: HTTP endpoints, jobs, dedup, quotas, deadlines.
+
+The server runs in a background thread on its own asyncio loop with an
+OS-assigned port; tests talk to it through :class:`ServiceClient` —
+the same stdlib transport ``repro client`` uses — so these tests cover
+the full wire path (parser, router, job store, SSE framing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import api
+from repro.obs import Event, QueueSink
+from repro.schedules.base import ScheduleError
+from repro.service import (
+    PlannerService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    default_request_timeout,
+)
+from repro.service import jobs as jobs_module
+
+#: A real-but-fast planner sweep (~0.1 s): small grid, no disk cache.
+SMALL_PLAN = api.PlanRequest(
+    model="13b",
+    global_batch_size=32,
+    methods=("mepipe",),
+    max_spp=4,
+    use_cache=False,
+)
+
+
+# ----------------------------------------------------------------------
+# Timeout knob precedence (satellite: REPRO_CHANNEL_TIMEOUT threading)
+# ----------------------------------------------------------------------
+class TestTimeoutPrecedence:
+    def test_default_is_the_channel_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REQUEST_TIMEOUT", raising=False)
+        monkeypatch.delenv("REPRO_CHANNEL_TIMEOUT", raising=False)
+        assert default_request_timeout() == 60.0
+
+    def test_channel_timeout_flows_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REQUEST_TIMEOUT", raising=False)
+        monkeypatch.setenv("REPRO_CHANNEL_TIMEOUT", "17")
+        assert default_request_timeout() == 17.0
+
+    def test_request_timeout_beats_channel_timeout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHANNEL_TIMEOUT", "17")
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "9")
+        assert default_request_timeout() == 9.0
+
+    def test_explicit_config_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "9")
+        config = ServiceConfig(request_timeout_s=3.0)
+        assert config.request_timeout_s == 3.0
+
+    def test_config_resolves_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REQUEST_TIMEOUT", raising=False)
+        monkeypatch.setenv("REPRO_CHANNEL_TIMEOUT", "21")
+        assert ServiceConfig().request_timeout_s == 21.0
+
+    @pytest.mark.parametrize("raw", ["soon", "-1", "0"])
+    def test_malformed_override_fails_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", raw)
+        with pytest.raises(ScheduleError):
+            default_request_timeout()
+
+
+# ----------------------------------------------------------------------
+# QueueSink: the obs-bus -> asyncio bridge
+# ----------------------------------------------------------------------
+class TestQueueSink:
+    def test_drain_is_non_blocking_and_ordered(self):
+        sink = QueueSink()
+        assert sink.drain() == []
+        events = [
+            Event(kind="instant", name=f"e{i}", ts=float(i))
+            for i in range(3)
+        ]
+        for event in events:
+            sink.emit(event)
+        assert sink.drain() == events
+        assert not sink.finished
+
+    def test_close_sentinel_sets_finished(self):
+        sink = QueueSink()
+        sink.emit(Event(kind="instant", name="tail", ts=0.0))
+        sink.close()
+        drained = sink.drain()
+        assert [e.name for e in drained] == ["tail"]
+        assert sink.finished
+
+    def test_cross_thread_handoff(self):
+        sink = QueueSink()
+
+        def producer():
+            for i in range(100):
+                sink.emit(Event(kind="instant", name=f"p{i}", ts=float(i)))
+            sink.close()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        seen: list[Event] = []
+        while not sink.finished:
+            seen.extend(sink.drain())
+        thread.join()
+        assert [e.name for e in seen] == [f"p{i}" for i in range(100)]
+
+
+# ----------------------------------------------------------------------
+# The live server
+# ----------------------------------------------------------------------
+class ServiceHarness:
+    """A PlannerService on a daemon thread with its own event loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = PlannerService(config)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10.0), "service did not start"
+
+    @property
+    def store(self):
+        return self.service.store
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient(self.service.address, **kwargs)
+
+    def shutdown(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        )
+        future.result(30.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10.0)
+        self.loop.close()
+
+
+@pytest.fixture()
+def harness(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep-cache"))
+    h = ServiceHarness(
+        ServiceConfig(port=0, request_timeout_s=30.0, max_workers=8)
+    )
+    yield h
+    h.shutdown()
+
+
+class TestHttpEndpoints:
+    def test_healthz(self, harness):
+        data = harness.client().health()
+        assert data["ok"] is True
+        assert data["schema_version"] == api.SCHEMA_VERSION
+        assert set(data["stats"]) >= {"jobs", "dedup_hits", "executed"}
+
+    def test_sync_response_matches_local_execute(self, harness):
+        request = api.EvaluateRequest(
+            method="mepipe", shape=api.ShapeSpec(slices=4, wgrad_gemms=3)
+        )
+        remote = harness.client().request(request)
+        local = api.execute(request)
+        assert remote == local
+        assert remote.to_json() == local.to_json()
+
+    def test_every_kind_is_routable(self, harness):
+        client = harness.client()
+        for request in (
+            api.VerifyRequest(method="mepipe"),
+            api.CheckModelRequest(method="mepipe"),
+            api.EvaluateRequest(method="zb"),
+            api.CapacityRequest(method="zbv"),
+            api.SimulateRequest(method="dapple"),
+        ):
+            response = client.request(request)
+            assert response.ok, request.KIND
+            assert response.to_dict()["schema_version"] == api.SCHEMA_VERSION
+
+    def test_unknown_method_maps_to_400(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().request(api.EvaluateRequest(method="nosuch"))
+        assert excinfo.value.status == 400
+        assert excinfo.value.error.code == "unknown-method"
+        assert excinfo.value.error.ok is False
+
+    def test_safety_tier_rejection_maps_to_422(self, harness):
+        # Interleaved VPP requires n % p == 0; n=2, p=4 is a
+        # well-formed request the generator refuses.
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().request(
+                api.VerifyRequest(
+                    method="vpp",
+                    shape=api.ShapeSpec(microbatches=2, virtual=2),
+                )
+            )
+        assert excinfo.value.status == 422
+        assert excinfo.value.error.code == "schedule-rejected"
+
+    def test_unknown_route_is_404(self, harness):
+        status, data = harness.client().call("GET", "/v1/frobnicate")
+        assert status == 404
+        assert data["code"] == "not-found"
+        assert data["schema_version"] == api.SCHEMA_VERSION
+
+    def test_get_on_request_endpoint_is_405(self, harness):
+        status, data = harness.client().call("GET", "/v1/plan")
+        assert status == 405
+        assert data["code"] == "method-not-allowed"
+
+    def test_malformed_json_is_400(self, harness):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            harness.service.config.host, harness.service.config.port
+        )
+        try:
+            conn.request(
+                "POST", "/v1/evaluate", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "JSON" in data["message"]
+
+    def test_schema_mismatch_is_rejected(self, harness):
+        status, data = harness.client().call(
+            "POST", "/v1/evaluate",
+            body={"kind": "evaluate", "schema_version": 999},
+        )
+        assert status == 400
+        assert data["code"] == "schema-mismatch"
+
+    def test_mismatched_body_kind_is_rejected(self, harness):
+        status, data = harness.client().call(
+            "POST", "/v1/evaluate", body={"kind": "plan"}
+        )
+        assert status == 400
+
+    def test_unknown_job_is_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client().job("job-does-not-exist")
+        assert excinfo.value.status == 404
+
+
+class TestJobsAndStreaming:
+    def test_async_submit_poll_and_sse(self, harness):
+        client = harness.client()
+        descriptor = client.submit(SMALL_PLAN)
+        assert descriptor["schema_version"] == api.SCHEMA_VERSION
+        assert descriptor["status"] in ("queued", "running")
+        job_id = descriptor["job_id"]
+
+        # The SSE stream carries obs-bus events from the sweep, then a
+        # terminal `done` event with the full job descriptor.
+        events = list(client.events(job_id))
+        names = [name for name, _ in events]
+        assert names[-1] == "done"
+        obs_payloads = [p for name, p in events if name == "obs"]
+        assert obs_payloads, "expected telemetry on the stream"
+        kinds = {p["kind"] for p in obs_payloads}
+        assert kinds & {"span", "counter", "instant"}
+
+        final = client.wait(job_id)
+        assert final["status"] == "done"
+        response = api.response_from_dict(final["response"])
+        assert isinstance(response, api.PlanResponse)
+        assert response.methods[0]["method"] == "mepipe"
+
+    def test_sse_replays_for_finished_jobs(self, harness):
+        client = harness.client()
+        job_id = client.submit(SMALL_PLAN)["job_id"]
+        client.wait(job_id)
+        # Stream opened after completion: history replays, then done.
+        events = list(client.events(job_id))
+        assert events[-1][0] == "done"
+        assert [name for name, _ in events].count("done") == 1
+
+    def test_concurrent_identical_requests_share_one_execution(
+        self, harness
+    ):
+        client = harness.client()
+        executed_before = harness.store.executed
+
+        def one(_: int) -> str:
+            return client.request(SMALL_PLAN).to_json()
+
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            bodies = list(pool.map(one, range(32)))
+
+        # All 32 callers saw byte-identical responses...
+        assert len(set(bodies)) == 1
+        # ...from exactly one planner invocation.
+        assert harness.store.executed == executed_before + 1
+        assert harness.store.dedup_hits >= 31
+        stats = client.health()["stats"]
+        assert stats["executed"] == executed_before + 1
+
+    def test_dedup_respects_fingerprint_volatile_fields(self, harness):
+        # jobs/use_cache are volatile: they never change the planner's
+        # answer, so requests differing only there still share a job.
+        client = harness.client()
+        variant = api.PlanRequest(
+            model=SMALL_PLAN.model,
+            global_batch_size=SMALL_PLAN.global_batch_size,
+            methods=SMALL_PLAN.methods,
+            max_spp=SMALL_PLAN.max_spp,
+            use_cache=False,
+            jobs=1,
+        )
+        assert variant.fingerprint() == SMALL_PLAN.fingerprint()
+        executed_before = harness.store.executed
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(client.request, SMALL_PLAN),
+                pool.submit(client.request, variant),
+            ]
+            results = [f.result() for f in futures]
+        assert results[0] == results[1]
+        assert harness.store.executed <= executed_before + 1
+
+
+class _Slow:
+    """Patchable stand-in for ``api.execute`` that blocks then answers."""
+
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def __call__(self, request, *, sink, cache=None):
+        self.calls += 1
+        time.sleep(self.delay_s)
+        return api.EvaluateResponse(ok=True, text="slow done")
+
+
+class TestQuotasAndDeadlines:
+    def test_per_tenant_quota_yields_429(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(jobs_module, "execute", _Slow(0.5))
+        h = ServiceHarness(
+            ServiceConfig(
+                port=0, request_timeout_s=30.0, tenant_quota=2,
+                max_workers=8,
+            )
+        )
+        try:
+            client = h.client(tenant="alice")
+            distinct = [
+                api.EvaluateRequest(method="mepipe", tw=1.0 + i)
+                for i in range(3)
+            ]
+            first = client.submit(distinct[0])
+            second = client.submit(distinct[1])
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(distinct[2])
+            assert excinfo.value.status == 429
+            assert excinfo.value.error.code == "quota-exceeded"
+            assert excinfo.value.error.detail["tenant"] == "alice"
+
+            # Another tenant is unaffected by alice's quota...
+            bob = h.client(tenant="bob")
+            third = bob.submit(distinct[2])
+            # ...and attaching to an in-flight job is never charged.
+            attach = bob.submit(distinct[0])
+            assert attach["job_id"] == first["job_id"]
+
+            for descriptor in (first, second, third):
+                assert client.wait(descriptor["job_id"])["status"] == "done"
+            # With capacity released, alice may submit again.
+            fresh = client.submit(
+                api.EvaluateRequest(method="mepipe", tw=9.0)
+            )
+            assert client.wait(fresh["job_id"])["status"] == "done"
+        finally:
+            h.shutdown()
+
+    def test_deadline_surfaces_structured_timeout(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        slow = _Slow(1.0)
+        monkeypatch.setattr(jobs_module, "execute", slow)
+        h = ServiceHarness(ServiceConfig(port=0, request_timeout_s=30.0))
+        try:
+            client = h.client(timeout_s=0.2)
+            with pytest.raises(ServiceError) as excinfo:
+                client.request(api.EvaluateRequest(method="mepipe"))
+            assert excinfo.value.status == 504
+            error = excinfo.value.error
+            assert error.code == "timeout"
+            assert error.detail["timeout_s"] == 0.2
+            job_id = error.detail["job_id"]
+
+            # The computation was not cancelled: the job completes and
+            # a patient poller still gets the full result.
+            final = h.client().wait(job_id)
+            assert final["status"] == "done"
+            assert final["response"]["text"] == "slow done"
+            assert slow.calls == 1
+        finally:
+            h.shutdown()
+
+    def test_bad_timeout_query_is_rejected(self, harness):
+        status, data = harness.client().call(
+            "POST", "/v1/evaluate",
+            body={"kind": "evaluate"},
+            query={"timeout": "soon"},
+        )
+        assert status == 400
+        assert data["code"] == "bad-timeout"
+
+
+class TestRequestErrorsThroughJobs:
+    def test_async_job_captures_request_error(self, harness):
+        client = harness.client()
+        descriptor = client.submit(api.EvaluateRequest(method="nosuch"))
+        final = client.wait(descriptor["job_id"])
+        assert final["status"] == "error"
+        assert final["error"]["code"] == "unknown-method"
+        # The SSE stream still terminates cleanly.
+        events = list(client.events(descriptor["job_id"]))
+        assert events[-1][0] == "done"
