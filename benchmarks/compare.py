@@ -56,11 +56,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nnote: {len(missing)} baseline benchmark(s) not in current "
               f"run: {', '.join(missing)}")
     if regressions:
+        # Name every offender with its before/after medians so a CI log
+        # is actionable without re-running the suite locally.
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed by more than "
-            f"{args.max_regression:.0f}% vs {args.baseline}",
+            f"{args.max_regression:.0f}% vs {args.baseline}:",
             file=sys.stderr,
         )
+        for name, old, new, ratio in regressions:
+            print(
+                f"  {name}: {old:.4f}s -> {new:.4f}s "
+                f"({ratio:+.1f}%, threshold {args.max_regression:.0f}%)",
+                file=sys.stderr,
+            )
         return 1
     print(f"\nOK: no benchmark regressed by more than "
           f"{args.max_regression:.0f}% vs {args.baseline}")

@@ -119,6 +119,59 @@ def test_bench_service_plan_cold_then_warm(once, tmp_path, monkeypatch):
         server.shutdown()
 
 
+def test_bench_service_pool_reuse_latency(once, tmp_path, monkeypatch):
+    """Parallel plan requests on the persistent worker pool vs a fresh
+    pool per sweep.
+
+    ``jobs=2`` routes each sweep through the planner process pool; in
+    ``"per-sweep"`` mode (the historical behavior) every request pays
+    pool spawn + teardown, while the default ``"persistent"`` mode pays
+    it once at warm-up and then reuses live, cache-warm workers.  Both
+    modes are timed min-of-reps on the same server, per-sweep first so
+    mode switching (which disposes the shared pool) never lands a cold
+    spawn inside the persistent measurement.
+    """
+    from repro.planner import pool
+
+    plan = PlanRequest(
+        model="13b", global_batch_size=32, methods=("mepipe",),
+        max_spp=4, jobs=2, use_cache=False,
+    )
+    server = _serve(tmp_path, monkeypatch, use_cache=False)
+    try:
+        client = server.client()
+
+        def timed_request() -> float:
+            t0 = perf_counter()
+            response = client.request(plan)
+            assert response.methods[0]["best"] is not None
+            return perf_counter() - t0
+
+        def min_of(reps: int) -> float:
+            return min(timed_request() for _ in range(reps))
+
+        # Up to three measurement attempts, re-warming each mode before
+        # its mins: the claim is the mode ratio, not machine quietness.
+        for _ in range(3):
+            pool.set_mode("per-sweep")
+            per_sweep = min_of(5)
+            pool.set_mode("persistent")
+            timed_request()  # warm-up: spawn the persistent pool
+            persistent = min_of(5)
+            if persistent < per_sweep:
+                break
+
+        # Record the persistent path under the regression gate.
+        once(timed_request)
+        assert persistent < per_sweep, (
+            f"persistent pool {persistent * 1e3:.0f} ms per request is not "
+            f"below per-sweep pools {per_sweep * 1e3:.0f} ms"
+        )
+    finally:
+        pool.set_mode(None)
+        server.shutdown()
+
+
 def test_bench_service_dedup_burst_throughput(once, tmp_path, monkeypatch):
     """32 concurrent identical plan requests -> one computation.
 

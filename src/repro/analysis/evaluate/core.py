@@ -46,6 +46,14 @@ from repro.schedules.graph import (
 )
 from repro.sim.cost import CostModel
 
+#: Basis text of every ``"exact"`` certificate — shared verbatim by the
+#: scalar and batched evaluators so their results compare equal.
+EXACT_CERTIFICATE_BASIS = (
+    "max-plus wavefront over the compiled graph: float max is "
+    "exact and order-independent, adds reuse the simulator's "
+    "operands, prefix sums are strictly sequential"
+)
+
 
 @dataclass(frozen=True)
 class EvalCertificate:
@@ -374,11 +382,7 @@ def evaluate_schedule(
         kind="exact",
         lower=iteration,
         upper=iteration,
-        basis=(
-            "max-plus wavefront over the compiled graph: float max is "
-            "exact and order-independent, adds reuse the simulator's "
-            "operands, prefix sums are strictly sequential"
-        ),
+        basis=EXACT_CERTIFICATE_BASIS,
     )
     result = AnalyticEvaluation(
         schedule_name=schedule.name,

@@ -36,8 +36,8 @@ from dataclasses import dataclass
 import numpy as np
 import numpy.typing as npt
 
-from repro.schedules.base import ScheduleError
-from repro.schedules.graph import ScheduleGraph
+from repro.schedules.base import OpId, OpKind
+from repro.schedules.graph import KIND_F, KIND_W, ScheduleGraph, TopoPlan, toposort_plan
 from repro.sim.cost import CostModel, op_cost_fns
 
 FloatArray = npt.NDArray[np.float64]
@@ -74,12 +74,15 @@ def op_cost_arrays(
     ``(kind, slice, chunk, gemm)`` key — exactly the key the event
     engine's :func:`op_cost_fns` memo collapses to, so two ops sharing
     a key receive the identical float either way and the tables are
-    bit-for-bit the simulator's.  Non-invariant models fall back to one
-    probe per op and per edge.
+    bit-for-bit the simulator's.  The few representative ``OpId``\\ s
+    those probes need are decoded from the graph's dense tables, so
+    ``graph.ops`` (the full 10k+ tuple) is never materialized on this
+    path.  Non-invariant models fall back to one probe per op and per
+    edge over the full op tuple.
     """
-    ops = graph.ops
     num_ops = graph.num_ops
     if not getattr(cost, "microbatch_invariant", False):
+        ops = graph.ops
         dur_fn, comm_fn, act_fn = op_cost_fns(cost)
         duration = np.fromiter(
             (dur_fn(op) for op in ops), dtype=np.float64, count=num_ops
@@ -113,13 +116,30 @@ def op_cost_arrays(
     uniq, inverse = np.unique(code, return_inverse=True)
     rep = np.empty(uniq.shape[0], dtype=np.int64)
     rep[inverse] = np.arange(num_ops, dtype=np.int64)
+
+    def op_at(i: int) -> OpId:
+        # Decode the true OpId of dense index ``i`` from the graph's
+        # tables (cell = (mb*s + sl)*chunks + c); field-for-field equal
+        # to ``graph.ops[i]`` without materializing the full tuple.
+        kc, ce = graph.kind[i], graph.cell[i]
+        op_kind = (
+            OpKind.F if kc == KIND_F else OpKind.W if kc == KIND_W else OpKind.B
+        )
+        return OpId(
+            op_kind,
+            ce // (chunks * s),
+            (ce // chunks) % s,
+            ce % chunks,
+            graph.gemm[i],
+        )
+
     dur_table = np.fromiter(
-        (cost.duration(ops[i]) for i in rep),
+        (cost.duration(op_at(i)) for i in rep),
         dtype=np.float64,
         count=uniq.shape[0],
     )
     act_table = np.fromiter(
-        (cost.act_units(ops[i]) for i in rep),
+        (cost.act_units(op_at(i)) for i in rep),
         dtype=np.float64,
         count=uniq.shape[0],
     )
@@ -139,75 +159,23 @@ def op_cost_arrays(
     erep = np.empty(euniq.shape[0], dtype=np.int64)
     erep[einverse] = np.arange(ecode.shape[0], dtype=np.int64)
     comm_table = np.fromiter(
-        (cost.comm_time(ops[pred[e]], ops[edge_op[e]]) for e in erep),
+        (cost.comm_time(op_at(int(pred[e])), op_at(int(edge_op[e]))) for e in erep),
         dtype=np.float64,
         count=euniq.shape[0],
     )
     return duration, act_units, comm_table[einverse]
 
 
-@dataclass(frozen=True)
-class _EvalPlan:
-    """Cost-independent evaluation plan for one compiled graph.
-
-    ``order`` is a topological order of the op indices (dependency and
-    program-order edges); ``levels`` is the dependency height.  Both
-    depend only on the graph structure, so the plan is computed once
-    (Kahn's algorithm) and cached on the graph — replaying the timing
-    recurrence for a cost model is then a single scalar pass.
-    """
-
-    order: list[int]
-    levels: int
+#: The evaluation plan *is* the graph's shared topological plan: one
+#: Kahn pass per topology class serves the verifier's deadlock verdict,
+#: this module's replay order, and the batched evaluator's wavefront
+#: boundaries (see :class:`repro.schedules.graph.TopoPlan`).
+_EvalPlan = TopoPlan
 
 
-def _build_plan(graph: ScheduleGraph) -> _EvalPlan:
-    """Kahn's algorithm over dependency + program-order edges.
-
-    Raises :class:`ScheduleError` if the combined edge relation has a
-    cycle (the frontier stalls before covering every op) — the same
-    deadlock the simulator's engines detect.
-    """
-    num_ops = graph.num_ops
-    pred_indptr = graph.pred_indptr
-    succ_indptr, succ = graph.succ_indptr, graph.succ
-    pos = graph.pos
-    indeg = [
-        pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
-        for i in range(num_ops)
-    ]
-    frontier = [i for i in range(num_ops) if indeg[i] == 0]
-    order: list[int] = []
-    levels = 0
-    while frontier:
-        levels += 1
-        order.extend(frontier)
-        nxt: list[int] = []
-        for i in frontier:
-            for e in range(succ_indptr[i], succ_indptr[i + 1]):
-                j = succ[e]
-                indeg[j] -= 1
-                if indeg[j] == 0:
-                    nxt.append(j)
-            j = i + 1
-            if j < num_ops and pos[j] > 0:
-                indeg[j] -= 1
-                if indeg[j] == 0:
-                    nxt.append(j)
-        frontier = nxt
-    if len(order) != num_ops:
-        stuck = [str(graph.ops[i]) for i in range(num_ops) if indeg[i] > 0][:8]
-        raise ScheduleError(f"evaluation deadlock; blocked ops: {stuck}")
-    return _EvalPlan(order=order, levels=levels)
-
-
-def _graph_plan(graph: ScheduleGraph) -> _EvalPlan:
+def _graph_plan(graph: ScheduleGraph) -> TopoPlan:
     """The graph's cached evaluation plan (built on first use)."""
-    plan = graph._dense_plan
-    if not isinstance(plan, _EvalPlan):
-        plan = _build_plan(graph)
-        graph._dense_plan = plan
-    return plan
+    return toposort_plan(graph)
 
 
 def dense_schedule_times(graph: ScheduleGraph, cost: CostModel) -> DenseTimes:

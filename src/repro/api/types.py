@@ -245,7 +245,9 @@ class PlanRequest(Request):
     max_spp: int = 16
     max_vp: int = 2
     min_dp: int = 2
-    evaluator: str = "tiered"
+    #: Evaluation pipeline: ``"grid"`` (batched topology classes),
+    #: ``"tiered"`` (cell-at-a-time), or ``"sim"``; results identical.
+    evaluator: str = "grid"
     #: Worker processes for the sweep; result-neutral (volatile).
     jobs: int = 1
     #: Reuse/persist the on-disk sweep cache; result-neutral (volatile).

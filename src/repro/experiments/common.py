@@ -31,8 +31,14 @@ def configure_planner(
     jobs: int | None = None,
     use_cache: bool | None = None,
     use_gen_cache: bool | None = None,
+    pool: str | None = None,
 ) -> None:
-    """Apply CLI-level sweep settings for subsequent :func:`search` calls."""
+    """Apply CLI-level sweep settings for subsequent :func:`search` calls.
+
+    ``pool`` selects the planner worker-pool mode (``"persistent"`` or
+    ``"per-sweep"``, the CLI's ``--pool`` / the ``REPRO_PLANNER_POOL``
+    environment knob); see :mod:`repro.planner.pool`.
+    """
     if jobs is not None:
         SETTINGS.jobs = jobs
     if use_cache is not None:
@@ -43,6 +49,10 @@ def configure_planner(
         from repro.schedules import gencache
 
         gencache.set_enabled(use_gen_cache)
+    if pool is not None:
+        from repro.planner import pool as planner_pool
+
+        planner_pool.set_mode(pool)
 
 
 def search(

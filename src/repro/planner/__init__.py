@@ -7,7 +7,12 @@ from repro.planner.costfit import (
     observations_from_slices,
     synthetic_observations,
 )
-from repro.planner.evaluate import EvalResult, evaluate_config, select_variant
+from repro.planner.evaluate import (
+    EvalResult,
+    evaluate_config,
+    evaluate_config_batch,
+    select_variant,
+)
 from repro.planner.parallel import (
     EvalOutcome,
     EvalTask,
@@ -15,11 +20,19 @@ from repro.planner.parallel import (
     SweepCache,
     eval_fingerprint,
     evaluate_tasks,
+    evaluate_tasks_batched,
+    grid_stats,
     merge_outcomes,
 )
-from repro.planner.search import SearchResult, SkippedConfig, search_method
+from repro.planner.search import (
+    DEFAULT_EVALUATOR,
+    SearchResult,
+    SkippedConfig,
+    search_method,
+)
 
 __all__ = [
+    "DEFAULT_EVALUATOR",
     "EvalOutcome",
     "EvalResult",
     "EvalTask",
@@ -30,8 +43,11 @@ __all__ = [
     "SweepCache",
     "eval_fingerprint",
     "evaluate_config",
+    "evaluate_config_batch",
     "evaluate_tasks",
+    "evaluate_tasks_batched",
     "fit_efficiency_curve",
+    "grid_stats",
     "merge_outcomes",
     "observations_from_slices",
     "search_method",

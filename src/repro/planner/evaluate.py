@@ -18,20 +18,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Hashable, Protocol, Sequence
 
 from repro.analysis import interface_report
 from repro.analysis.evaluate import (
     AnalyticEvaluation,
     evaluate_schedule,
+    evaluate_schedule_batch,
     iteration_time_bounds,
     peak_units_floor,
 )
 from repro.hardware.cluster import ClusterSpec
 from repro.model.flops import model_train_flops
-from repro.model.memory import GiB, budget_for
+from repro.model.memory import GiB, MemoryBudget, budget_for
 from repro.model.spec import ModelSpec
 from repro.parallel.strategies import ParallelConfig, validate_for_cluster
-from repro.schedules.base import ScheduleError
+from repro.schedules.base import PipelineProblem, Schedule, ScheduleError
+from repro.schedules.graph import compiled_graph
 from repro.schedules.greedy import default_first_stage_cap, min_first_stage_cap
 from repro.schedules.methods import build_problem, build_schedule, method_traits
 from repro.schedules.verify import assert_clean
@@ -112,6 +115,89 @@ def _cached_schedule(
     )
 
 
+@dataclass(frozen=True)
+class ConfigPrelude:
+    """Everything a configuration's evaluation needs before a schedule.
+
+    ``auto_f`` is the Section 4.5 variant selection (``None`` for
+    methods without slice-level variants, or when even the default
+    fits); ``overhead_time`` the iteration-level DP-sync + optimizer
+    seconds.  All of it is a pure function of the evaluation inputs, so
+    one cached prelude serves ``evaluate_config``, ``config_bounds``,
+    and the batched grid tier for the same cell — the bounds pass and
+    the full evaluation no longer each rebuild problem, interface
+    report, cost model, and budget.
+    """
+
+    problem: PipelineProblem
+    cost: ClusterCost
+    budget: MemoryBudget
+    auto_f: int | None
+    overhead_time: float
+
+
+@lru_cache(maxsize=256)
+def _prelude(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    config: ParallelConfig,
+    global_batch_size: int,
+) -> ConfigPrelude:
+    """Validate and assemble one configuration's evaluation prelude.
+
+    Raises exactly the ``ValueError``\\ s :func:`evaluate_config` has
+    always raised (invalid config, failing interface check); the
+    exceptions are not cached, so every caller observes them.
+    """
+    traits = method_traits(method)
+    vp = traits.fixed_vp or config.vp
+    effective = config.with_(vp=vp) if vp != config.vp else config
+    problems = validate_for_cluster(effective, cluster.num_devices, spec)
+    if problems:
+        raise ValueError(f"invalid config {effective}: {problems}")
+    n = config.micro_batches(global_batch_size)
+    wgrad_gemms = WGRAD_GEMMS if traits.split_backward else 1
+    problem = build_problem(
+        method,
+        config.pp,
+        n,
+        num_slices=config.spp,
+        virtual_size=vp,
+        wgrad_gemms=wgrad_gemms,
+    )
+    # Static interface gate: the partition this (pp, vp) chunking implies
+    # must shape/dtype-check before any schedule is built or simulated;
+    # a failing config is rejected with the rendered findings and the
+    # grid search records why.
+    interfaces = interface_report(spec, problem, name=f"{method} {config.describe()}")
+    if not interfaces.ok:
+        raise ValueError(
+            f"partition fails interface checking:\n{interfaces.render_text()}"
+        )
+    cost = ClusterCost(spec=spec, config=config, cluster=cluster, problem=problem)
+    budget = budget_for(
+        spec,
+        capacity_bytes=cluster.gpu.memory_bytes,
+        # TP shards every stage's parameters the same way more pipeline
+        # stages would, so it folds into the per-device divisor.
+        pipeline_stages=config.pp * config.tp,
+        total_devices=cluster.num_devices,
+        micro_batch_tokens=cost.tokens_per_op * config.micro_batch_size,
+    )
+    auto_f = None
+    if traits.uses_spp:
+        auto_f = select_variant(problem, cost, budget.available_for_activations)
+    overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
+    return ConfigPrelude(
+        problem=problem,
+        cost=cost,
+        budget=budget,
+        auto_f=auto_f,
+        overhead_time=overhead,
+    )
+
+
 def evaluate_config(
     method: str,
     spec: ModelSpec,
@@ -150,50 +236,14 @@ def evaluate_config(
     The charge is conservative: the worst stage's ring bytes are added
     to the shared per-stage budget.
     """
-    traits = method_traits(method)
-    vp = traits.fixed_vp or config.vp
-    effective = config.with_(vp=vp) if vp != config.vp else config
-    problems = validate_for_cluster(effective, cluster.num_devices, spec)
-    if problems:
-        raise ValueError(f"invalid config {effective}: {problems}")
-    n = config.micro_batches(global_batch_size)
-    wgrad_gemms = WGRAD_GEMMS if traits.split_backward else 1
-    problem = build_problem(
-        method,
-        config.pp,
-        n,
-        num_slices=config.spp,
-        virtual_size=vp,
-        wgrad_gemms=wgrad_gemms,
-    )
-    # Static interface gate: the partition this (pp, vp) chunking implies
-    # must shape/dtype-check before any schedule is built or simulated;
-    # a failing config is rejected with the rendered findings and the
-    # grid search records why.
-    interfaces = interface_report(spec, problem, name=f"{method} {config.describe()}")
-    if not interfaces.ok:
-        raise ValueError(
-            f"partition fails interface checking:\n{interfaces.render_text()}"
-        )
-    cost = ClusterCost(spec=spec, config=config, cluster=cluster, problem=problem)
-
-    budget = budget_for(
-        spec,
-        capacity_bytes=cluster.gpu.memory_bytes,
-        # TP shards every stage's parameters the same way more pipeline
-        # stages would, so it folds into the per-device divisor.
-        pipeline_stages=config.pp * config.tp,
-        total_devices=cluster.num_devices,
-        micro_batch_tokens=cost.tokens_per_op * config.micro_batch_size,
-    )
-
+    pre = _prelude(method, spec, cluster, config, global_batch_size)
     f = forwards_before_first_backward
-    if f is None and auto_select_variant and traits.uses_spp:
-        f = select_variant(problem, cost, budget.available_for_activations)
+    if f is None and auto_select_variant:
+        f = pre.auto_f
 
-    schedule = _cached_schedule(method, problem, cost, f)
-    overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
+    schedule = _cached_schedule(method, pre.problem, pre.cost, f)
     result: SimResult | AnalyticEvaluation
+    cost, overhead = pre.cost, pre.overhead_time
     if tier == "sim":
         # Full static verification (channel order, liveness, closed-form
         # cross-check on top of the builder's safety tier): a misgenerated
@@ -214,6 +264,41 @@ def evaluate_config(
     else:
         raise ValueError(f"unknown evaluation tier {tier!r}")
 
+    return _finalize(
+        method,
+        spec,
+        cluster,
+        config,
+        global_batch_size,
+        pre,
+        f,
+        schedule,
+        result,
+        tier,
+        capacity_mode,
+    )
+
+
+def _finalize(
+    method: str,
+    spec: ModelSpec,
+    cluster: ClusterSpec,
+    config: ParallelConfig,
+    global_batch_size: int,
+    pre: ConfigPrelude,
+    f: int | None,
+    schedule: Schedule,
+    result: SimResult | AnalyticEvaluation,
+    tier: str,
+    capacity_mode: str,
+) -> EvalResult:
+    """Turn a tier's raw evaluation into an :class:`EvalResult`.
+
+    The memory/OOM/throughput postlude of :func:`evaluate_config`,
+    shared verbatim with the batched grid tier so a batched member's
+    result is identical to the scalar path's.
+    """
+    cost, budget, problem = pre.cost, pre.budget, pre.problem
     act_bytes = int(result.peak_activation_units * cost.activation_bytes_per_unit())
     peak = budget.static + budget.temporary + budget.allocator_reserve + act_bytes
     peak += budget.framework_overhead
@@ -248,7 +333,6 @@ def evaluate_config(
         peak += channel_bytes
 
     oom = peak > cluster.gpu.memory_bytes
-    tokens = global_batch_size * spec.seq_length
     flops = model_train_flops(spec, spec.seq_length) * global_batch_size
     tflops_per_gpu = flops / result.iteration_time / cluster.num_devices / 1e12
     mfu = tflops_per_gpu / cluster.gpu.peak_fp16_tflops
@@ -305,47 +389,19 @@ def config_bounds(
     evaluation, which raises or answers authoritatively.
     """
     try:
-        traits = method_traits(method)
-        vp = traits.fixed_vp or config.vp
-        effective = config.with_(vp=vp) if vp != config.vp else config
-        if validate_for_cluster(effective, cluster.num_devices, spec):
-            return None
-        n = config.micro_batches(global_batch_size)
-        wgrad_gemms = WGRAD_GEMMS if traits.split_backward else 1
-        problem = build_problem(
-            method,
-            config.pp,
-            n,
-            num_slices=config.spp,
-            virtual_size=vp,
-            wgrad_gemms=wgrad_gemms,
+        pre = _prelude(method, spec, cluster, config, global_batch_size)
+        bounds = iteration_time_bounds(
+            pre.problem, pre.cost, overhead_time=pre.overhead_time
         )
-        interfaces = interface_report(
-            spec, problem, name=f"{method} {config.describe()}"
-        )
-        if not interfaces.ok:
-            return None
-        cost = ClusterCost(
-            spec=spec, config=config, cluster=cluster, problem=problem
-        )
-        budget = budget_for(
-            spec,
-            capacity_bytes=cluster.gpu.memory_bytes,
-            pipeline_stages=config.pp * config.tp,
-            total_devices=cluster.num_devices,
-            micro_batch_tokens=cost.tokens_per_op * config.micro_batch_size,
-        )
-        f = None
-        if traits.uses_spp:
-            f = select_variant(problem, cost, budget.available_for_activations)
-        overhead = cost.dp_sync_seconds() + cost.optimizer_seconds()
-        bounds = iteration_time_bounds(problem, cost, overhead_time=overhead)
         if bounds is None:
             return None
-        floor_units = peak_units_floor(problem, cost, forwards_floor=f)
+        floor_units = peak_units_floor(
+            pre.problem, pre.cost, forwards_floor=pre.auto_f
+        )
+        budget = pre.budget
         floor = budget.static + budget.temporary + budget.allocator_reserve
         floor += budget.framework_overhead
-        floor += int(floor_units * cost.activation_bytes_per_unit())
+        floor += int(floor_units * pre.cost.activation_bytes_per_unit())
         return ConfigBounds(
             lower_time_s=bounds.lower,
             upper_time_s=bounds.upper,
@@ -353,6 +409,177 @@ def config_bounds(
         )
     except (ScheduleError, ValueError, KeyError):
         return None
+
+
+class EvalTaskLike(Protocol):
+    """The task shape the batched grid tier consumes.
+
+    Structural twin of :class:`repro.planner.parallel.EvalTask`
+    (declared here as a protocol because ``parallel`` imports this
+    module, not the other way around).
+    """
+
+    @property
+    def method(self) -> str: ...
+    @property
+    def spec(self) -> ModelSpec: ...
+    @property
+    def cluster(self) -> ClusterSpec: ...
+    @property
+    def config(self) -> ParallelConfig: ...
+    @property
+    def global_batch_size(self) -> int: ...
+    @property
+    def tier(self) -> str: ...
+    @property
+    def capacity_mode(self) -> str: ...
+
+
+def task_class_key(task: EvalTaskLike) -> Hashable | None:
+    """Predicted topology-class key of one task, for dispatch grouping.
+
+    Tasks sharing this key build their schedules over the same problem
+    with the same variant selection — the *candidates* for one topology
+    class.  The prediction only steers which worker evaluates which
+    tasks together; the batched evaluator verifies *actual* structural
+    identity per generated graph before sharing anything, so a wrong
+    prediction costs a smaller batch, never a wrong float.  ``None``
+    when the prelude rejects the task (it will error identically in the
+    worker).
+    """
+    try:
+        pre = _prelude(
+            task.method, task.spec, task.cluster, task.config, task.global_batch_size
+        )
+    except (ScheduleError, ValueError, KeyError):
+        return None
+    return (task.method, pre.problem, pre.auto_f, task.tier, task.capacity_mode)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Result of one batched evaluation call.
+
+    ``results[i]`` is task ``i``'s :class:`EvalResult` or the exception
+    the scalar path would have raised for it.  ``class_sizes`` lists
+    the sizes of the topology classes that were actually evaluated by
+    one stacked pass (size ≥ 2; singleton classes take the scalar
+    evaluator and gain nothing — the honest limit of grid batching).
+    """
+
+    results: tuple[object, ...]
+    class_sizes: tuple[int, ...]
+
+
+def evaluate_config_batch(tasks: Sequence[EvalTaskLike]) -> BatchReport:
+    """Evaluate a group of tasks, batching structurally identical ones.
+
+    Preludes and schedules are built per task (both cached); the built
+    graphs are then grouped by **exact** structure
+    (:meth:`~repro.schedules.graph.ScheduleGraph.structure_key`) and
+    each multi-member class runs the stacked analytic evaluator once.
+    Every member's floats — and every raised error — are identical to
+    the scalar :func:`evaluate_config` path's (the batched evaluator is
+    bit-identical and the finalize postlude is shared code).  ``"sim"``
+    tier tasks always take the scalar path: the simulator tier exists
+    to be an *independent* replay of the frontier.
+    """
+    results: list[object] = [None] * len(tasks)
+    pending: list[tuple[int, EvalTaskLike, ConfigPrelude, int | None, Schedule]] = []
+    for i, task in enumerate(tasks):
+        try:
+            pre = _prelude(
+                task.method,
+                task.spec,
+                task.cluster,
+                task.config,
+                task.global_batch_size,
+            )
+            f = pre.auto_f
+            schedule = _cached_schedule(task.method, pre.problem, pre.cost, f)
+            if task.tier != "analytic":
+                results[i] = evaluate_config(
+                    task.method,
+                    task.spec,
+                    task.cluster,
+                    task.config,
+                    task.global_batch_size,
+                    tier=task.tier,
+                    capacity_mode=task.capacity_mode,
+                )
+            else:
+                assert isinstance(schedule, Schedule)
+                pending.append((i, task, pre, f, schedule))
+        except (ScheduleError, ValueError) as exc:
+            results[i] = exc
+
+    groups: dict[Hashable, list[tuple[int, EvalTaskLike, ConfigPrelude, int | None, Schedule]]] = {}
+    for member in pending:
+        graph = compiled_graph(member[4])
+        groups.setdefault(graph.structure_key(), []).append(member)
+
+    class_sizes: list[int] = []
+    for members in groups.values():
+        if len(members) == 1:
+            # Singleton class: the scalar wavefront is cheaper on the
+            # narrow fronts pipeline graphs produce, and bit-identical.
+            evals = [
+                evaluate_schedule(
+                    members[0][4],
+                    members[0][2].cost,
+                    overhead_time=members[0][2].overhead_time,
+                )
+            ]
+        else:
+            class_sizes.append(len(members))
+            # A structural mismatch in here would be a grouping bug;
+            # the batched evaluator's own exact check turns it into a
+            # loud ValueError rather than a silently wrong float.
+            evals = evaluate_schedule_batch(
+                [m[4] for m in members],
+                [m[2].cost for m in members],
+                [m[2].overhead_time for m in members],
+            )
+        for (i, task, pre, f, schedule), ev in zip(members, evals):
+            try:
+                results[i] = _finalize(
+                    task.method,
+                    task.spec,
+                    task.cluster,
+                    task.config,
+                    task.global_batch_size,
+                    pre,
+                    f,
+                    schedule,
+                    ev,
+                    task.tier,
+                    task.capacity_mode,
+                )
+            except (ScheduleError, ValueError) as exc:
+                results[i] = exc
+    return BatchReport(results=tuple(results), class_sizes=tuple(class_sizes))
+
+
+def config_bounds_batch(
+    tasks: Sequence[EvalTaskLike],
+) -> list[ConfigBounds | None]:
+    """Certified bounds for a whole task group.
+
+    One shared-prelude pass: each task's problem/cost/budget is built
+    (or reused from the prelude cache, which the class-key and
+    evaluation passes also hit) exactly once for the entire tiered
+    sweep, instead of once per pass.
+    """
+    return [
+        config_bounds(
+            task.method,
+            task.spec,
+            task.cluster,
+            task.config,
+            task.global_batch_size,
+        )
+        for task in tasks
+    ]
 
 
 def select_variant(problem, cost: ClusterCost, available_bytes: int) -> int | None:

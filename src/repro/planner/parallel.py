@@ -27,8 +27,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from hashlib import sha256
 from pathlib import Path
@@ -39,7 +39,13 @@ from repro.hardware.cluster import ClusterSpec
 from repro.model.spec import ModelSpec
 from repro.obs.events import NULL_SINK, EventSink
 from repro.parallel.strategies import ParallelConfig
-from repro.planner.evaluate import EvalResult, evaluate_config
+from repro.planner import pool
+from repro.planner.evaluate import (
+    EvalResult,
+    evaluate_config,
+    evaluate_config_batch,
+    task_class_key,
+)
 from repro.schedules import gencache
 from repro.schedules.base import ScheduleError
 
@@ -277,8 +283,11 @@ def evaluate_tasks(
     if pending:
         pooled = jobs > 1
         if pooled:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                computed = list(pool.map(_run_task, pending))
+            # The planner worker pool: persistent by default (warm
+            # caches across sweeps and service requests), per-sweep via
+            # REPRO_PLANNER_POOL=per-sweep.  Either way the merge below
+            # is by task index, so results are pool-independent.
+            computed = pool.run_map(_run_task, pending, jobs)
         else:
             computed = [_run_task(item) for item in pending]
         tasks_by_index = dict(pending)
@@ -326,6 +335,192 @@ def evaluate_tasks(
         sink.counter("errors", float(errors), ts=end)
         sink.counter("gen_cache_hits", float(gen_hits), ts=end)
         sink.counter("gen_cache_misses", float(gen_misses), ts=end)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+_grid_lock = threading.Lock()
+_grid_batch_size = 0
+_grid_class_hits = 0
+
+
+def _record_grid(batch_size: int, class_hits: int) -> None:
+    global _grid_batch_size, _grid_class_hits
+    with _grid_lock:
+        _grid_batch_size += batch_size
+        _grid_class_hits += class_hits
+
+
+def grid_stats() -> dict[str, int]:
+    """Cumulative grid-evaluation counters for the obs bus / healthz.
+
+    ``batch_size`` counts configs that went through a stacked
+    multi-config evaluation (classes of size ≥ 2 only — singletons take
+    the scalar path and gain nothing); ``topology_class_hits`` counts
+    structure reuse: one per member that shared another member's
+    compiled topology within a batch, plus every structure-store hit
+    (plan or batch tables served from a previously compiled graph,
+    including across sweeps and models).
+    """
+    with _grid_lock:
+        return {
+            "batch_size": _grid_batch_size,
+            "topology_class_hits": _grid_class_hits,
+        }
+
+
+def reset_grid_stats() -> None:
+    """Zero the grid counters (tests)."""
+    global _grid_batch_size, _grid_class_hits
+    with _grid_lock:
+        _grid_batch_size = 0
+        _grid_class_hits = 0
+
+
+def _run_class(
+    group: tuple[tuple[int, ...], tuple[EvalTask, ...]],
+) -> tuple[
+    list[tuple[int, EvalOutcome]], float, int, int, int, int, tuple[int, ...]
+]:
+    """Worker body: evaluate one predicted topology class as a batch.
+
+    Returns the index-tagged outcomes plus this call's wall time, the
+    generation-cache and structure-store hit/miss deltas (workers hold
+    their own caches; the parent folds the deltas back), and the sizes
+    of the classes that were actually batched.
+    """
+    indices, tasks = group
+    start = time.perf_counter()
+    gen_h0, gen_m0 = gencache.snapshot()
+    st_h0, st_m0 = gencache.structure_snapshot()
+    report = evaluate_config_batch(tasks)
+    outcomes: list[tuple[int, EvalOutcome]] = []
+    for i, res in zip(indices, report.results):
+        if isinstance(res, EvalResult):
+            outcomes.append((i, EvalOutcome(result=res)))
+        else:
+            text = str(res)
+            first = text.splitlines()[0] if text else type(res).__name__
+            outcomes.append((i, EvalOutcome(error=first)))
+    gen_h1, gen_m1 = gencache.snapshot()
+    st_h1, st_m1 = gencache.structure_snapshot()
+    seconds = time.perf_counter() - start
+    return (
+        outcomes,
+        seconds,
+        gen_h1 - gen_h0,
+        gen_m1 - gen_m0,
+        st_h1 - st_h0,
+        st_m1 - st_m0,
+        report.class_sizes,
+    )
+
+
+def evaluate_tasks_batched(
+    tasks: list[EvalTask],
+    jobs: int = 1,
+    cache: SweepCache | None = None,
+    sink: EventSink = NULL_SINK,
+) -> list[EvalOutcome]:
+    """Like :func:`evaluate_tasks`, batching topology classes.
+
+    Cache misses are grouped by their *predicted* topology class
+    (:func:`~repro.planner.evaluate.task_class_key`) so structurally
+    identical configurations reach the same worker and are evaluated by
+    one stacked pass of the batched analytic evaluator.  The grouping
+    is a pure dispatch optimization: the batched evaluator verifies
+    actual structural identity and is bit-identical per member, so the
+    returned outcomes equal :func:`evaluate_tasks`'s for any grouping,
+    worker count, or pool mode.
+
+    Emits (with an enabled sink) the ``evaluate_tasks`` counters plus
+    ``batch_size`` (configs through stacked passes),
+    ``topology_class_hits`` (structure reuse within batches and via the
+    structure store), and ``worker_reuse`` (tasks served by an
+    already-warm persistent pool); the same numbers accumulate in
+    :func:`grid_stats` / :func:`repro.planner.pool.stats` for
+    ``/v1/healthz``.
+    """
+    observing = sink.enabled
+    t0 = time.perf_counter() if observing else 0.0
+    outcomes: list[EvalOutcome | None] = [None] * len(tasks)
+    pending: list[tuple[int, EvalTask]] = []
+    cache_hits = 0
+    for i, task in enumerate(tasks):
+        hit = cache.get(task) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = hit
+            cache_hits += 1
+            if observing:
+                sink.instant(
+                    f"cache hit {task.method} {task.config.describe()}",
+                    ts=time.perf_counter() - t0,
+                    cat="cache",
+                    args={"method": task.method, "index": i},
+                )
+        else:
+            pending.append((i, task))
+
+    errors = 0
+    gen_hits = 0
+    gen_misses = 0
+    batch_size = 0
+    class_hits = 0
+    reuse_before = pool.stats()["worker_reuse"]
+    if pending:
+        grouped: dict[object, list[tuple[int, EvalTask]]] = {}
+        for i, task in pending:
+            grouped.setdefault(task_class_key(task), []).append((i, task))
+        groups = [
+            (tuple(i for i, _ in members), tuple(t for _, t in members))
+            for members in grouped.values()
+        ]
+        pooled = jobs > 1
+        if pooled:
+            computed = pool.run_map(_run_class, groups, jobs)
+        else:
+            computed = [_run_class(group) for group in groups]
+        for group, record in zip(groups, computed):
+            members, seconds, gen_h, gen_m, st_h, st_m, sizes = record
+            if pooled and (gen_h or gen_m):
+                gencache.record_remote(gen_h, gen_m)
+            if pooled and (st_h or st_m):
+                gencache.record_remote_structure(st_h, st_m)
+            gen_hits += gen_h
+            gen_misses += gen_m
+            batch_size += sum(sizes)
+            class_hits += st_h + sum(size - 1 for size in sizes)
+            for i, outcome in members:
+                outcomes[i] = outcome
+                if not outcome.ok:
+                    errors += 1
+                if cache is not None:
+                    cache.put(tasks[i], outcome)
+            if observing:
+                now = time.perf_counter() - t0
+                first = group[1][0]
+                sink.span(
+                    f"class {first.method} x{len(group[0])}",
+                    ts=max(0.0, now - seconds),
+                    dur=seconds,
+                    cat="eval",
+                    args={
+                        "method": first.method,
+                        "members": len(group[0]),
+                        "batched": list(sizes),
+                    },
+                )
+    reuse_delta = pool.stats()["worker_reuse"] - reuse_before
+    _record_grid(batch_size, class_hits)
+    if observing:
+        end = time.perf_counter() - t0
+        sink.counter("cache_hits", float(cache_hits), ts=end)
+        sink.counter("evaluated", float(len(pending)), ts=end)
+        sink.counter("errors", float(errors), ts=end)
+        sink.counter("gen_cache_hits", float(gen_hits), ts=end)
+        sink.counter("gen_cache_misses", float(gen_misses), ts=end)
+        sink.counter("batch_size", float(batch_size), ts=end)
+        sink.counter("topology_class_hits", float(class_hits), ts=end)
+        sink.counter("worker_reuse", float(reuse_delta), ts=end)
     return [outcome for outcome in outcomes if outcome is not None]
 
 

@@ -1,0 +1,185 @@
+"""Long-lived planner worker pool.
+
+The planner's parallel tier used to spin up a fresh
+``ProcessPoolExecutor`` for every sweep.  That pays the process-spawn
+cost per sweep *and* — worse — throws away every worker-side cache
+each time: the generation cache, the structure store, and the
+per-process schedule/prelude memos a worker populated while evaluating
+one sweep were gone before the next request arrived.  For the planning
+service, whose hot path is many small sweeps arriving over time, the
+repeated spawn + cache-cold cost dominated cold-request latency.
+
+This module keeps **one** process pool alive for the whole process and
+shares it across every ``search_method`` call and every service
+request.  Workers therefore accumulate warm caches across dispatches —
+the second sweep that touches a problem a worker has seen gets its
+schedules, topological plans, and batch tables from memory.
+
+Modes (env knob ``REPRO_PLANNER_POOL``, or :func:`set_mode` /
+``--pool``):
+
+* ``"persistent"`` (default) — the long-lived pool described above;
+* ``"per-sweep"`` — the historical behavior: a fresh pool per call,
+  torn down when the call returns.
+
+Fault handling: a broken pool (a worker killed under us) is disposed
+and the affected call falls back to deterministic inline execution, so
+a crashed worker degrades throughput, never results.  ``shutdown()``
+is idempotent and registered via ``atexit``; the service's
+``JobStore.close`` calls it so stopping the service never leaks
+worker processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_MODES = ("persistent", "per-sweep")
+
+_lock = threading.Lock()
+_mode: str | None = None  # None -> consult the env on first use
+_executor: ProcessPoolExecutor | None = None
+_executor_workers = 0
+#: Tasks served by a pool that already existed when the call arrived
+#: (the measure of warm-worker reuse the obs bus surfaces).
+_reuse_tasks = 0
+#: Tasks that created (or re-created) the pool.
+_cold_tasks = 0
+#: Broken-pool incidents survived by falling back inline.
+_faults = 0
+
+
+def pool_mode() -> str:
+    """The active pool mode (env knob ``REPRO_PLANNER_POOL``)."""
+    global _mode
+    with _lock:
+        if _mode is None:
+            raw = os.environ.get("REPRO_PLANNER_POOL", "persistent").lower()
+            _mode = raw if raw in _MODES else "persistent"
+        return _mode
+
+
+def set_mode(value: str | None) -> None:
+    """Force a pool mode; ``None`` re-reads the environment.
+
+    Switching away from ``"persistent"`` disposes any live pool so the
+    knob is also a kill switch.
+    """
+    global _mode
+    if value is not None and value not in _MODES:
+        raise ValueError(
+            f"unknown pool mode {value!r}; expected one of {_MODES}"
+        )
+    with _lock:
+        _mode = value
+    if value == "per-sweep":
+        shutdown()
+
+
+def _ensure_executor(jobs: int) -> tuple[ProcessPoolExecutor, bool]:
+    """The shared executor, created or grown to ``jobs`` workers.
+
+    Returns ``(executor, warm)`` where ``warm`` says the pool already
+    existed with enough workers — the reuse the persistent mode is for.
+    A pool that is too small is replaced (executors cannot grow), which
+    counts as cold.
+    """
+    global _executor, _executor_workers
+    with _lock:
+        if _executor is not None and _executor_workers >= jobs:
+            return _executor, True
+        stale = _executor
+        _executor = ProcessPoolExecutor(max_workers=jobs)
+        _executor_workers = jobs
+    if stale is not None:
+        stale.shutdown(wait=True)
+    return _executor, False
+
+
+def _dispose(broken: ProcessPoolExecutor) -> None:
+    """Drop a broken executor (best-effort teardown, never raises)."""
+    global _executor, _executor_workers
+    with _lock:
+        if _executor is broken:
+            _executor = None
+            _executor_workers = 0
+    try:
+        broken.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def run_map(
+    fn: Callable[[_T], _R], items: Sequence[_T], jobs: int
+) -> list[_R]:
+    """``[fn(item) for item in items]`` on the planner worker pool.
+
+    Order-preserving and result-deterministic in every mode: the pool
+    only changes *where* each item runs.  A broken pool (worker killed
+    mid-call) falls back to inline execution of the whole call — the
+    items are pure functions, so re-running them is safe.
+    """
+    global _reuse_tasks, _cold_tasks, _faults
+    if not items:
+        return []
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    if pool_mode() == "per-sweep":
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, items))
+    executor, warm = _ensure_executor(jobs)
+    try:
+        results = list(executor.map(fn, items))
+    except BrokenProcessPool:
+        _dispose(executor)
+        with _lock:
+            _faults += 1
+        return [fn(item) for item in items]
+    with _lock:
+        if warm:
+            _reuse_tasks += len(items)
+        else:
+            _cold_tasks += len(items)
+    return results
+
+
+def stats() -> dict[str, int]:
+    """Counters for the obs bus: reuse/cold task counts, faults, size."""
+    with _lock:
+        return {
+            "worker_reuse": _reuse_tasks,
+            "worker_cold": _cold_tasks,
+            "pool_faults": _faults,
+            "pool_workers": _executor_workers if _executor is not None else 0,
+        }
+
+
+def reset_stats() -> None:
+    """Zero the counters (tests)."""
+    global _reuse_tasks, _cold_tasks, _faults
+    with _lock:
+        _reuse_tasks = 0
+        _cold_tasks = 0
+        _faults = 0
+
+
+def shutdown() -> None:
+    """Tear down the shared pool (idempotent; also runs at exit)."""
+    global _executor, _executor_workers
+    with _lock:
+        executor = _executor
+        _executor = None
+        _executor_workers = 0
+    if executor is not None:
+        executor.shutdown(wait=True)
+
+
+atexit.register(shutdown)

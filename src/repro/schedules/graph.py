@@ -35,6 +35,7 @@ Contract:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.schedules.base import (
@@ -50,6 +51,18 @@ from repro.schedules.base import (
 KIND_F: int = 0
 KIND_B: int = 1
 KIND_W: int = 2
+
+#: Structure-level identity of a compiled graph: the problem plus the
+#: per-op kind/cell/gemm tables and the stage layout.  Everything else
+#: on a :class:`ScheduleGraph` (edges, positions, plans) is derived
+#: from exactly these tables, so equal keys imply equal topology.
+StructureKey = tuple[
+    PipelineProblem,
+    tuple[int, ...],
+    tuple[int, ...],
+    tuple[int, ...],
+    tuple[tuple[int, int], ...],
+]
 
 
 class ScheduleGraph:
@@ -140,6 +153,47 @@ class ScheduleGraph:
         """Total ops in the compiled schedule."""
         return len(self.kind)
 
+    def op_at(self, i: int) -> OpId:
+        """The ``OpId`` of dense index ``i``.
+
+        Decoded from the integer tables (``cell = (mb*s + sl)*chunks +
+        c``) when the full ops tuple is not already materialized —
+        field-for-field equal to ``self.ops[i]`` — so diagnostic paths
+        that name a handful of ops do not force the whole tuple.
+        """
+        materialized = self._ops
+        if materialized is not None:
+            return materialized[i]
+        problem = self.problem
+        chunks = problem.num_chunks
+        s = problem.num_slices
+        kc, ce = self.kind[i], self.cell[i]
+        kind = OpKind.F if kc == KIND_F else OpKind.W if kc == KIND_W else OpKind.B
+        return OpId(
+            kind,
+            ce // (chunks * s),
+            (ce // chunks) % s,
+            ce % chunks,
+            self.gemm[i],
+        )
+
+    def structure_key(self) -> StructureKey:
+        """Exact structural identity of this graph, cost-free.
+
+        Two graphs with equal structure keys have identical op
+        numbering, kinds, cells, gemm tags, stage layout — and therefore
+        identical dependency edges (the edge relation is pure code
+        arithmetic over these tables) and identical topological plans.
+        The key is a tuple of the graph's own integer tables, so the
+        comparison is exact (no hashing collisions decide equality):
+        this is what lets the planner's batched analytic tier group
+        configurations into *topology classes* that share one compiled
+        structure while only their cost key-tables differ, and what
+        keys the process-wide structure cache in
+        :mod:`repro.schedules.gencache`.
+        """
+        return (self.problem, self.kind, self.cell, self.gemm, self.stage_bounds)
+
     def preds_of(self, i: int) -> tuple[int, ...]:
         """Dependency predecessors of op ``i`` (dense indices)."""
         return self.pred[self.pred_indptr[i] : self.pred_indptr[i + 1]]
@@ -191,6 +245,94 @@ def compiled_graph(schedule: Schedule) -> ScheduleGraph:
     graph = _compile(schedule, token)
     schedule._graph_cache = (token, graph)  # type: ignore[attr-defined]
     return graph
+
+
+@dataclass(frozen=True)
+class TopoPlan:
+    """Cost-independent topological plan of one compiled graph.
+
+    ``order`` is a topological order of the op indices (dependency and
+    program-order edges); ``levels`` is the dependency height, and
+    ``level_indptr`` the Kahn wavefront boundaries within ``order``
+    (``order[level_indptr[k]:level_indptr[k + 1]]`` is wavefront ``k``).
+    One plan serves every structural consumer: the verifier's deadlock
+    verdict (the plan exists iff the combined edge relation is acyclic),
+    the analytic evaluator's replay order, and the batched evaluator's
+    level-synchronous sweep — so the Kahn pass over a graph runs at most
+    once, and via the structure store in
+    :mod:`repro.schedules.gencache` at most once per *topology class*.
+    """
+
+    order: list[int]
+    levels: int
+    level_indptr: tuple[int, ...]
+
+
+def build_topo_plan(graph: ScheduleGraph) -> TopoPlan:
+    """Kahn's algorithm over dependency + program-order edges.
+
+    Raises :class:`ScheduleError` if the combined edge relation has a
+    cycle (the frontier stalls before covering every op) — the same
+    deadlock the simulator's engines detect.
+    """
+    num_ops = graph.num_ops
+    pred_indptr = graph.pred_indptr
+    succ_indptr, succ = graph.succ_indptr, graph.succ
+    pos = graph.pos
+    indeg = [
+        pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
+        for i in range(num_ops)
+    ]
+    frontier = [i for i in range(num_ops) if indeg[i] == 0]
+    order: list[int] = []
+    level_indptr: list[int] = [0]
+    levels = 0
+    while frontier:
+        levels += 1
+        order.extend(frontier)
+        level_indptr.append(len(order))
+        nxt: list[int] = []
+        for i in frontier:
+            for e in range(succ_indptr[i], succ_indptr[i + 1]):
+                j = succ[e]
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    nxt.append(j)
+            j = i + 1
+            if j < num_ops and pos[j] > 0:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    nxt.append(j)
+        frontier = nxt
+    if len(order) != num_ops:
+        stuck = [str(graph.ops[i]) for i in range(num_ops) if indeg[i] > 0][:8]
+        raise ScheduleError(f"evaluation deadlock; blocked ops: {stuck}")
+    return TopoPlan(order=order, levels=levels, level_indptr=tuple(level_indptr))
+
+
+def toposort_plan(graph: ScheduleGraph) -> TopoPlan:
+    """The graph's cached topological plan (built on first use).
+
+    The plan depends only on the graph's structure, so before running
+    Kahn it consults the process-wide structure store under the graph's
+    :meth:`ScheduleGraph.structure_key` — two graphs differing only in
+    cost tables (one topology class) build the plan once and share it,
+    within a sweep and across sweeps.
+    """
+    plan = graph._dense_plan
+    if isinstance(plan, TopoPlan):
+        return plan
+    from repro.schedules import gencache
+
+    key = ("plan", graph.structure_key())
+    shared = gencache.get_structure(key)
+    if isinstance(shared, TopoPlan):
+        built = shared
+    else:
+        built = build_topo_plan(graph)
+        gencache.put_structure(key, built)
+    graph._dense_plan = built
+    return built
 
 
 def _compile(schedule: Schedule, token: int) -> ScheduleGraph:

@@ -18,8 +18,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.schedules.base import OpId, OpKind, Schedule
-from repro.schedules.graph import ScheduleGraph
+import numpy as np
+
+from repro.schedules.base import OpId, OpKind, Schedule, ScheduleError
+from repro.schedules.graph import ScheduleGraph, toposort_plan
 from repro.schedules.verify.diagnostics import Finding
 
 #: BFS-per-node budget for cycle minimization; beyond this SCC size the
@@ -35,6 +37,66 @@ class ScheduleIndex:
     positions: dict[OpId, tuple[int, int]] = field(default_factory=dict)
     has_duplicates: bool = False
     has_foreign: bool = False
+
+
+def _dense_structure_clean(schedule: Schedule) -> bool | None:
+    """ST001-ST004 verdict straight from a dense engine's code tables.
+
+    Schedules emitted by the array-native greedy engine carry their
+    per-stage programs as canonical op codes (``_stage_codes``) until
+    something materializes ``OpId`` programs.  The ST rules are pure
+    code arithmetic — in-range (ST004, and kind/gemm validity, since
+    the canonical code space enumerates exactly the problem's ops),
+    home-stage placement (ST001), no duplicates (ST003), full coverage
+    (ST002) — so this path checks the codes with vectorized NumPy and
+    never builds an ``OpId``.  Keeping the programs unmaterialized also
+    keeps :func:`~repro.schedules.graph.fingerprint` on its precomputed
+    token, so every later verdict/graph cache probe stays O(1).
+
+    Returns ``None`` when not applicable (no code tables, or programs
+    already materialized — then nothing is saved by the dense path),
+    ``True`` when clean, ``False`` on any anomaly (the caller falls
+    through to the detailed diagnostic pass).
+    """
+    codes_by_stage = getattr(schedule, "_stage_codes", None)
+    if codes_by_stage is None or getattr(schedule, "_programs", 0) is not None:
+        return None
+    problem = schedule.problem
+    # The dense programs property emits stages 0..len-1 in order, so
+    # ST005 reduces to the stage count.
+    if len(codes_by_stage) != problem.num_stages:
+        return False
+    n, s = problem.num_microbatches, problem.num_slices
+    chunks = problem.num_chunks
+    split = problem.split_backward
+    gemms = problem.wgrad_gemms
+    cells = n * s * chunks
+    total = cells * 2 + (cells * gemms if split else 0)
+    counts = [len(codes) for codes in codes_by_stage]
+    if sum(counts) != total:
+        return False  # ST002 missing / ST003 duplicate by count
+    if total == 0:
+        return True
+    code = np.concatenate(
+        [np.asarray(codes, dtype=np.int64) for codes in codes_by_stage]
+    )
+    if int(code.min()) < 0 or int(code.max()) >= total:
+        return False  # ST004 foreign (out of the canonical code space)
+    seen = np.zeros(total, dtype=bool)
+    seen[code] = True
+    if not seen.all():
+        return False  # some code absent => another duplicated (ST002/ST003)
+    g_div = gemms if gemms else 1  # np.where evaluates both branches
+    base = np.where(
+        code < cells,
+        code,
+        np.where(code < 2 * cells, code - cells, (code - 2 * cells) // g_div),
+    )
+    stage_of_chunk = np.asarray(problem._placement_tables[0], dtype=np.int64)
+    stage = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    if not bool(np.all(stage_of_chunk[base % chunks] == stage)):
+        return False  # ST001 misplaced
+    return True
 
 
 def _structure_clean_fast(schedule: Schedule) -> bool:
@@ -99,6 +161,13 @@ def check_structure(schedule: Schedule) -> tuple[list[Finding], ScheduleIndex]:
     findings: list[Finding] = []
     index = ScheduleIndex()
 
+    # Dense engines are verified from their code tables without ever
+    # materializing OpId programs — materialization would disarm the
+    # precomputed fingerprint token and re-hash every later cache probe.
+    dense_verdict = _dense_structure_clean(schedule)
+    if dense_verdict:
+        return findings, index
+
     stages_seen = [program.stage for program in schedule.programs]
     if stages_seen != list(range(problem.num_stages)):
         findings.append(
@@ -110,7 +179,7 @@ def check_structure(schedule: Schedule) -> tuple[list[Finding], ScheduleIndex]:
         )
         return findings, index
 
-    if _structure_clean_fast(schedule):
+    if dense_verdict is None and _structure_clean_fast(schedule):
         return findings, index
 
     expected = set(problem.all_ops())
@@ -187,37 +256,21 @@ def _edge_label(problem, src: OpId, dst: OpId) -> str:
 
 
 def _deadlock_free_fast(graph: ScheduleGraph) -> bool:
-    """Integer Kahn pass over the compiled graph (no witness).
+    """Deadlock verdict from the graph's shared topological plan.
 
-    Counting indegrees over the CSR arrays plus the implicit
-    program-order edge; the deque holds dense indices, so the hot loop
-    touches no ``OpId`` and hashes nothing.
+    :func:`~repro.schedules.graph.toposort_plan` runs one integer Kahn
+    pass (no ``OpId`` is touched, nothing is hashed) and memoizes the
+    resulting plan on the graph *and* in the structure store keyed by
+    topology class — so the verdict here, the dense evaluator's replay
+    order, and the batched evaluator's wavefront boundaries all come
+    from the same single pass per class.  Deadlocked graphs raise
+    inside the pass and nothing is cached.
     """
-    num_ops = graph.num_ops
-    pred_indptr = graph.pred_indptr
-    succ_indptr, succ = graph.succ_indptr, graph.succ
-    stage, pos = graph.stage, graph.pos
-    indeg = [0] * num_ops
-    for i in range(num_ops):
-        indeg[i] = (
-            pred_indptr[i + 1] - pred_indptr[i] + (1 if pos[i] > 0 else 0)
-        )
-    queue = deque(i for i in range(num_ops) if indeg[i] == 0)
-    processed = 0
-    while queue:
-        i = queue.popleft()
-        processed += 1
-        for e in range(succ_indptr[i], succ_indptr[i + 1]):
-            j = succ[e]
-            indeg[j] -= 1
-            if indeg[j] == 0:
-                queue.append(j)
-        j = i + 1
-        if j < num_ops and stage[j] == stage[i]:
-            indeg[j] -= 1
-            if indeg[j] == 0:
-                queue.append(j)
-    return processed == num_ops
+    try:
+        toposort_plan(graph)
+    except ScheduleError:
+        return False
+    return True
 
 
 def _positions_of(schedule: Schedule) -> dict[OpId, tuple[int, int]]:

@@ -301,16 +301,36 @@ class JobStore:
             job.finish(response, error)
 
     async def close(self) -> None:
-        """Wait for in-flight jobs, then release the worker pool."""
+        """Wait for in-flight jobs, then release the worker pools.
+
+        Shuts down the persistent planner process pool too, so stopping
+        the service never leaves orphaned worker processes behind.
+        """
         tasks = [t for t in self._tasks if not t.done()]
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        from repro.planner import pool
+
+        pool.shutdown()
 
     def stats(self) -> dict[str, Any]:
+        """Healthz counters: job-store state plus grid-planner reuse.
+
+        ``batch_size`` / ``topology_class_hits`` come from the planner's
+        grid registry and ``worker_reuse`` from the persistent pool —
+        process-wide sums, surfaced here because the service is the
+        long-lived process in which cross-request reuse pays off.
+        """
+        from repro.planner import grid_stats, pool
+
+        grid = grid_stats()
         return {
             "jobs": len(self._jobs),
             "inflight": len(self._inflight),
             "dedup_hits": self.dedup_hits,
             "executed": self.executed,
+            "batch_size": grid["batch_size"],
+            "topology_class_hits": grid["topology_class_hits"],
+            "worker_reuse": pool.stats()["worker_reuse"],
         }

@@ -68,15 +68,17 @@ def op_cost_fns(
     if not getattr(cost, "microbatch_invariant", False):
         return cost.duration, cost.comm_time, cost.act_units
 
-    # Keys use ``kind.value`` (an interned str with a C-level hash)
-    # rather than the enum member, whose Python-level ``__hash__`` would
-    # dominate the probe cost.
+    # Keys use interned kind tags (C-level string hash) rather than the
+    # enum member's ``.value``, whose descriptor protocol would dominate
+    # the probe cost; the identity-keyed table turns the tag lookup into
+    # one dict probe.
+    tag = {OpKind.F: "F", OpKind.B: "B", OpKind.W: "W"}
     dur_memo: dict[tuple[str, int, int, int], float] = {}
     comm_memo: dict[tuple, float] = {}
     act_memo: dict[tuple[str, int, int, int], float] = {}
 
     def duration(op: OpId) -> float:
-        key = (op.kind.value, op.slice_idx, op.chunk, op.gemm)
+        key = (tag[op.kind], op.slice_idx, op.chunk, op.gemm)
         v = dur_memo.get(key)
         if v is None:
             v = dur_memo[key] = cost.duration(op)
@@ -84,8 +86,8 @@ def op_cost_fns(
 
     def comm_time(dep: OpId, op: OpId) -> float:
         key = (
-            dep.kind.value, dep.slice_idx, dep.chunk, dep.gemm,
-            op.kind.value, op.slice_idx, op.chunk, op.gemm,
+            tag[dep.kind], dep.slice_idx, dep.chunk, dep.gemm,
+            tag[op.kind], op.slice_idx, op.chunk, op.gemm,
         )
         v = comm_memo.get(key)
         if v is None:
@@ -93,7 +95,7 @@ def op_cost_fns(
         return v
 
     def act_units(op: OpId) -> float:
-        key = (op.kind.value, op.slice_idx, op.chunk, op.gemm)
+        key = (tag[op.kind], op.slice_idx, op.chunk, op.gemm)
         v = act_memo.get(key)
         if v is None:
             v = act_memo[key] = cost.act_units(op)

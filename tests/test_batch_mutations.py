@@ -1,0 +1,118 @@
+"""Seeded-fault tests for the batched evaluator's defences.
+
+The batched tier's correctness rests on two invariants: the stacked
+cost tables keep row ``j`` aligned with member ``j``, and a batch only
+ever contains one topology class.  These tests *break* each invariant
+deliberately (a transposed cost-table row; a structure key that
+collides two different topologies) and assert the harness notices —
+the first as a bit-identity divergence the golden tests would flag,
+the second as a loud :class:`ValueError` from the raw structural
+check, which does not trust the (mutated) key.
+"""
+
+import numpy as np
+import pytest
+
+import repro.analysis.evaluate.batch as batch_mod
+from repro.analysis.evaluate import evaluate_schedule, evaluate_schedule_batch
+from repro.hardware.cluster import RTX4090_CLUSTER
+from repro.model.spec import LLAMA_13B
+from repro.parallel.strategies import ParallelConfig
+from repro.planner.evaluate import evaluate_config_batch
+from repro.planner.parallel import EvalTask
+from repro.schedules import gencache
+from repro.schedules.graph import ScheduleGraph
+from repro.schedules.methods import build_problem, build_schedule
+from repro.sim.cost import UniformCost
+
+
+def two_member_class():
+    """A genuine topology class of size two: one cost-independent
+    structure (dapple) under two different cost tables."""
+    problem = build_problem("dapple", 4, 8)
+    costs = [
+        UniformCost(problem, tf=1.0, tb=2.0),
+        UniformCost(problem, tf=1.5, tb=3.0),
+    ]
+    schedules = [build_schedule("dapple", problem, cost=c) for c in costs]
+    return schedules, costs
+
+
+def test_unmutated_control_is_bit_identical():
+    schedules, costs = two_member_class()
+    overheads = [0.0, 0.25]
+    batch = evaluate_schedule_batch(schedules, costs, overheads)
+    for sch, c, overhead, batched in zip(schedules, costs, overheads, batch):
+        assert batched == evaluate_schedule(sch, c, overhead)
+
+
+def test_transposed_cost_row_is_detected(monkeypatch):
+    """Mutation: swap rows 0 and 1 of the stacked duration table.
+
+    Row ``j`` must carry member ``j``'s durations; after the swap both
+    members are timed with the *other* member's costs, so the batch
+    results must diverge from the scalar evaluator — the exact failure
+    the golden bit-identity tests exist to catch.
+    """
+    real = batch_mod._stack_cost_tables
+
+    def transposed(graph, costs):
+        duration, act_units, comm = real(graph, costs)
+        mutated = duration.copy()
+        mutated[[0, 1]] = mutated[[1, 0]]
+        return mutated, act_units, comm
+
+    monkeypatch.setattr(batch_mod, "_stack_cost_tables", transposed)
+    schedules, costs = two_member_class()
+    batch = evaluate_schedule_batch(schedules, costs, [0.0, 0.0])
+    scalar = [evaluate_schedule(s, c) for s, c in zip(schedules, costs)]
+    assert batch[0].makespan != scalar[0].makespan
+    assert batch[1].makespan != scalar[1].makespan
+    assert not np.array_equal(batch[0].times.end, scalar[0].times.end)
+    # ...and the two members' timings were exchanged wholesale.
+    assert batch[0].makespan == scalar[1].makespan
+    assert batch[1].makespan == scalar[0].makespan
+
+
+def test_colliding_structure_key_raises_loudly(monkeypatch):
+    """Mutation: an off-by-one class key that merges two topologies.
+
+    The batch evaluator's structural check compares the graphs' raw
+    attributes, *not* the key, so a buggy key produces a ValueError —
+    never silently wrong floats.
+    """
+    gencache.clear()  # a colliding key must not alias stored plans
+    monkeypatch.setattr(
+        ScheduleGraph, "structure_key", lambda self: ("collision",)
+    )
+    a = build_problem("dapple", 4, 8)
+    b = build_problem("dapple", 4, 16)
+    ca, cb = UniformCost(a), UniformCost(b)
+    sa = build_schedule("dapple", a, cost=ca)
+    sb = build_schedule("dapple", b, cost=cb)
+    with pytest.raises(ValueError, match="one topology class"):
+        evaluate_schedule_batch([sa, sb], [ca, cb], [0.0, 0.0])
+
+
+def test_colliding_key_fails_loudly_through_the_planner(monkeypatch):
+    """The same key mutation, driven through ``evaluate_config_batch``:
+    the planner groups on the (mutated) key, hands a mixed batch to the
+    evaluator, and the structural check rejects it instead of
+    evaluating garbage."""
+    gencache.clear()
+    monkeypatch.setattr(
+        ScheduleGraph, "structure_key", lambda self: ("collision",)
+    )
+    tasks = [
+        EvalTask(
+            "dapple",
+            LLAMA_13B,
+            RTX4090_CLUSTER,
+            ParallelConfig(dp=dp, pp=pp),
+            64,
+            tier="analytic",
+        )
+        for dp, pp in ((8, 8), (16, 4))
+    ]
+    with pytest.raises(ValueError, match="one topology class"):
+        evaluate_config_batch(tasks)

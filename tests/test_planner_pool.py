@@ -1,0 +1,125 @@
+"""The persistent planner worker pool: modes, reuse, faults, shutdown.
+
+These tests drive :mod:`repro.planner.pool` directly with small
+picklable functions — real sweeps are exercised through
+``evaluate_tasks`` elsewhere — and check the properties the service
+relies on: warm reuse across calls, the per-sweep kill switch, inline
+fallback when a worker dies, and leak-free shutdown.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.planner import pool
+
+
+@pytest.fixture(autouse=True)
+def clean_pool(monkeypatch):
+    """Each test starts with no pool, fresh counters, env-driven mode."""
+    monkeypatch.delenv("REPRO_PLANNER_POOL", raising=False)
+    pool.shutdown()
+    pool.reset_stats()
+    pool.set_mode(None)
+    yield
+    pool.shutdown()
+    pool.reset_stats()
+    pool.set_mode(None)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _die_in_worker(x: int) -> int:
+    """Kill the hosting process — but only when it is a pool worker, so
+    the inline fallback re-run returns normally."""
+    if multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x + 1
+
+
+def test_default_mode_is_persistent():
+    assert pool.pool_mode() == "persistent"
+
+
+def test_env_selects_mode(monkeypatch):
+    monkeypatch.setenv("REPRO_PLANNER_POOL", "per-sweep")
+    pool.set_mode(None)  # drop the cached mode; re-read the env
+    assert pool.pool_mode() == "per-sweep"
+    monkeypatch.setenv("REPRO_PLANNER_POOL", "bogus")
+    pool.set_mode(None)
+    assert pool.pool_mode() == "persistent"  # unknown values fall back
+
+
+def test_set_mode_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown pool mode"):
+        pool.set_mode("forkbomb")
+
+
+def test_single_job_runs_inline():
+    assert pool.run_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+    stats = pool.stats()
+    assert stats["pool_workers"] == 0
+    assert stats["worker_reuse"] == 0
+    assert stats["worker_cold"] == 0
+
+
+def test_persistent_pool_is_reused_across_calls():
+    first = pool.run_map(_square, [1, 2, 3], jobs=2)
+    assert first == [1, 4, 9]
+    after_first = pool.stats()
+    assert after_first["pool_workers"] == 2
+    assert after_first["worker_cold"] == 3
+    assert after_first["worker_reuse"] == 0
+
+    second = pool.run_map(_square, [4, 5], jobs=2)
+    assert second == [16, 25]
+    after_second = pool.stats()
+    assert after_second["worker_reuse"] == 2  # served by the warm pool
+    assert after_second["pool_workers"] == 2
+
+
+def test_per_sweep_mode_leaves_no_pool_behind():
+    pool.set_mode("per-sweep")
+    assert pool.run_map(_square, [2, 3], jobs=2) == [4, 9]
+    stats = pool.stats()
+    assert stats["pool_workers"] == 0
+    assert stats["worker_reuse"] == 0
+
+
+def test_broken_pool_falls_back_inline():
+    results = pool.run_map(_die_in_worker, [10, 20], jobs=2)
+    assert results == [11, 21]  # the inline re-run, not garbage
+    stats = pool.stats()
+    assert stats["pool_faults"] == 1
+    # The next call rebuilds the pool and works normally.
+    assert pool.run_map(_square, [6], jobs=2) == [36]
+
+
+def test_shutdown_is_idempotent_and_leakfree():
+    pool.run_map(_square, [1, 2], jobs=2)
+    assert pool.stats()["pool_workers"] == 2
+    pool.shutdown()
+    pool.shutdown()  # second call is a no-op, not an error
+    assert pool.stats()["pool_workers"] == 0
+    # No orphaned worker processes survive the shutdown.
+    assert multiprocessing.active_children() == []
+
+
+def test_jobstore_close_shuts_the_pool_down():
+    from repro.service.config import ServiceConfig
+    from repro.service.jobs import JobStore
+
+    async def scenario() -> None:
+        store = JobStore(ServiceConfig())
+        pool.run_map(_square, [1, 2], jobs=2)
+        assert pool.stats()["pool_workers"] == 2
+        await store.close()
+
+    asyncio.run(scenario())
+    assert pool.stats()["pool_workers"] == 0
+    assert multiprocessing.active_children() == []

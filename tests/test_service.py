@@ -168,7 +168,14 @@ class TestHttpEndpoints:
         data = harness.client().health()
         assert data["ok"] is True
         assert data["schema_version"] == api.SCHEMA_VERSION
-        assert set(data["stats"]) >= {"jobs", "dedup_hits", "executed"}
+        assert set(data["stats"]) >= {
+            "jobs",
+            "dedup_hits",
+            "executed",
+            "batch_size",
+            "topology_class_hits",
+            "worker_reuse",
+        }
 
     def test_sync_response_matches_local_execute(self, harness):
         request = api.EvaluateRequest(
